@@ -1,0 +1,32 @@
+// Ablation (§III-D): RX/TX ring size (ethtool -G rx 8192 tx 8192).
+//
+// Paper: "The ring buffer setting above only seemed to help on AMD hosts,
+// not Intel hosts." Mechanism in the model: a larger ring only matters when
+// unpaced trains overrun the burst drain — which binds on the AMD hosts
+// (zerocopy unpaced WAN) but sits below the Intel sender's own CPU ceiling.
+#include "bench_common.hpp"
+
+using namespace dtnsim;
+using namespace dtnsim::bench;
+
+int main() {
+  print_header("Ablation: ring buffers", "1024 vs 8192 descriptors, unpaced WAN zerocopy",
+               "single stream, zerocopy unpaced (drop-prone config), 60 s x 10");
+
+  Table table({"Host", "Ring", "Throughput", "stdev", "Retr"});
+  for (const bool amd : {true, false}) {
+    for (const int ring : {1024, 8192}) {
+      auto e = amd ? Experiment(harness::esnet()).path("WAN 63ms")
+                   : Experiment(harness::amlight()).path("WAN 54ms");
+      const auto r = standard(e.zerocopy().ring(ring)).run();
+      table.add_row({amd ? "ESnet (AMD)" : "AmLight (Intel)", strfmt("%d", ring),
+                     gbps(r.avg_gbps), strfmt("%.1f", r.stdev_gbps),
+                     count(r.avg_retransmits)});
+    }
+    table.add_separator();
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  std::printf("Shape check vs paper: the 8192 ring helps the AMD hosts (their\n"
+              "burst drain is the binding constraint) and does little on Intel.\n");
+  return 0;
+}

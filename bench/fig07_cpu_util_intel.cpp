@@ -1,0 +1,37 @@
+// Fig. 7: CPU utilization at various latencies (single stream, Intel host,
+// kernel 6.5). "TX/RX Cores" aggregates the iperf3 core and the NIC IRQ
+// cores, so values can exceed 100%.
+//
+// Paper shape: with defaults, the receiver CPU limits on the LAN and the
+// sender CPU limits on the WAN; with zerocopy + optimal optmem + pacing,
+// sender CPU drops dramatically and the receiver becomes the bottleneck,
+// while throughput is identical across all RTTs.
+#include "bench_common.hpp"
+
+using namespace dtnsim;
+using namespace dtnsim::bench;
+
+int main() {
+  print_header("Figure 7", "CPU utilization vs latency (single stream, Intel, kernel 6.5)",
+               "default vs zerocopy+pacing 50G (optmem 3.25MB), 60 s x 10");
+
+  const auto tb = harness::amlight(kern::KernelVersion::V6_5);
+  Table table({"Config", "Path", "Throughput", "TX Cores", "RX Cores", "Bottleneck"});
+
+  for (const bool zcp : {false, true}) {
+    for (const char* p : {"LAN", "WAN 25ms", "WAN 54ms", "WAN 104ms"}) {
+      auto e = Experiment(tb).path(p);
+      if (zcp) e.zerocopy().pacing_gbps(50).optmem_max(3405376);
+      const auto r = standard(std::move(e)).run();
+      table.add_row({zcp ? "zc+pacing 50G" : "default", p, gbps(r.avg_gbps),
+                     pct(r.snd_cpu_pct), pct(r.rcv_cpu_pct),
+                     r.snd_cpu_pct > r.rcv_cpu_pct ? "sender" : "receiver"});
+    }
+    table.add_separator();
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  std::printf("Paper shape: default = receiver-bound on LAN, sender-bound on WAN;\n"
+              "zc+pacing = sender CPU collapses, receiver becomes the bottleneck,\n"
+              "throughput identical on all paths.\n");
+  return 0;
+}

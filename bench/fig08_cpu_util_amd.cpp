@@ -1,0 +1,40 @@
+// Fig. 8: CPU utilization, LAN and WAN (single stream, AMD host).
+//
+// Same shape as Fig. 7 but at lower throughput; the notable AMD difference
+// is much higher sender CPU on the WAN (deeper cache penalty from the
+// per-CCX L3 slices).
+#include "bench_common.hpp"
+
+using namespace dtnsim;
+using namespace dtnsim::bench;
+
+int main() {
+  print_header("Figure 8", "CPU utilization (single stream, AMD host, ESnet)",
+               "default vs zerocopy+pacing 40G, LAN + 63 ms WAN, 60 s x 10");
+
+  const auto tb = harness::esnet(kern::KernelVersion::V6_8);
+  Table table({"Config", "Path", "Throughput", "TX Cores", "RX Cores"});
+
+  double def_lan = 0, def_wan = 0, snd_wan = 0, snd_lan = 0;
+  for (const bool zcp : {false, true}) {
+    for (const char* p : {"LAN", "WAN 63ms"}) {
+      auto e = Experiment(tb).path(p);
+      if (zcp) e.zerocopy().pacing_gbps(40).optmem_max(3405376);
+      const auto r = standard(std::move(e)).run();
+      table.add_row({zcp ? "zc+pacing 40G" : "default", p, gbps(r.avg_gbps),
+                     pct(r.snd_cpu_pct), pct(r.rcv_cpu_pct)});
+      if (!zcp) {
+        (std::string(p) == "LAN" ? def_lan : def_wan) = r.avg_gbps;
+        (std::string(p) == "LAN" ? snd_lan : snd_wan) = r.snd_cpu_pct;
+      }
+    }
+    table.add_separator();
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  std::printf("Shape checks vs paper:\n");
+  std::printf("  default WAN below LAN  : %.0f%% slower (paper: ~40%%)\n",
+              (1.0 - def_wan / def_lan) * 100.0);
+  std::printf("  sender CPU WAN >> LAN  : %.0f%% vs %.0f%% (paper: 'much higher on AMD')\n",
+              snd_wan, snd_lan);
+  return 0;
+}

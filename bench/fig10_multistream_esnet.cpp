@@ -1,0 +1,34 @@
+// Fig. 10: 8 parallel flows on the ESnet testbed (AMD host, kernel 6.8),
+// zerocopy with pacing at various rates, against the "Max Tput" reference
+// (min of the NIC rate and streams x pace).
+//
+// Paper shape: zerocopy+pacing delivers nearly the maximum possible on both
+// LAN and WAN (200 down to 120 Gbps depending on pacing), with the smallest
+// stddev at 15 Gbps/stream.
+#include "bench_common.hpp"
+
+using namespace dtnsim;
+using namespace dtnsim::bench;
+
+int main() {
+  print_header("Figure 10", "8 flows, zerocopy + pacing sweep (ESnet AMD, kernel 6.8)",
+               "8 streams, zerocopy, pacing {unpaced, 25, 20, 15} G/flow, 60 s x 10");
+
+  const auto tb = harness::esnet(kern::KernelVersion::V6_8);
+  Table table({"Pacing", "Path", "Max Tput", "Measured", "stdev", "Retr"});
+  for (const double pace : {0.0, 25.0, 20.0, 15.0}) {
+    for (const char* p : {"LAN", "WAN 63ms"}) {
+      const double max_tput = pace > 0 ? std::min(8 * pace, 200.0) : 200.0;
+      const auto r =
+          standard(Experiment(tb).path(p).streams(8).zerocopy().pacing_gbps(pace)).run();
+      table.add_row({pace > 0 ? strfmt("%.0f G/flow", pace) : "unpaced", p,
+                     gbps(max_tput), gbps(r.avg_gbps), strfmt("%.1f", r.stdev_gbps),
+                     count(r.avg_retransmits)});
+    }
+    table.add_separator();
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  std::printf("Paper shape: measured tracks Max Tput closely on LAN and WAN;\n"
+              "stddev shrinks as pacing deepens (smallest at 15 G/flow).\n");
+  return 0;
+}

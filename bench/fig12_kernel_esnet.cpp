@@ -1,0 +1,34 @@
+// Fig. 12: Kernel version results on the ESnet testbed (AMD host, single
+// stream). Paper: 6.5 is ~12% faster than 5.15 and 6.8 ~17% faster than
+// 6.5, over 30% total.
+#include "bench_common.hpp"
+
+using namespace dtnsim;
+using namespace dtnsim::bench;
+
+int main() {
+  print_header("Figure 12", "Kernel versions 5.15 / 6.5 / 6.8 (ESnet AMD, single stream)",
+               "default iperf3 settings, LAN + WAN 63 ms, 60 s x 10");
+
+  Table table({"Kernel", "LAN", "WAN 63ms"});
+  double lan[3] = {0, 0, 0};
+  int i = 0;
+  for (const auto k :
+       {kern::KernelVersion::V5_15, kern::KernelVersion::V6_5, kern::KernelVersion::V6_8}) {
+    const auto tb = harness::esnet(k);
+    std::vector<std::string> row{kern::kernel_version_name(k)};
+    for (const char* p : {"LAN", "WAN 63ms"}) {
+      const auto r = standard(Experiment(tb).path(p)).run();
+      row.push_back(gbps_pm(r));
+      if (std::string(p) == "LAN") lan[i] = r.avg_gbps;
+    }
+    table.add_row(std::move(row));
+    ++i;
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  std::printf("Shape checks vs paper (LAN):\n");
+  std::printf("  6.5 over 5.15 : %+.0f%%  (paper: ~12%%)\n", (lan[1] / lan[0] - 1) * 100);
+  std::printf("  6.8 over 6.5  : %+.0f%%  (paper: ~17%%)\n", (lan[2] / lan[1] - 1) * 100);
+  std::printf("  6.8 over 5.15 : %+.0f%%  (paper: >30%%)\n", (lan[2] / lan[0] - 1) * 100);
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Micro-benchmarks of the simulator substrate itself (google-benchmark):
+// event-queue throughput, RNG, fq pacing arithmetic, GSO/GRO geometry, the
+// zerocopy socket, and end-to-end simulation rate (simulated seconds per
+// wall second).
+#include <benchmark/benchmark.h>
+
+#include "dtnsim/core/dtnsim.hpp"
+
+namespace {
+
+using namespace dtnsim;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(static_cast<Nanos>((i * 2654435761u) % 1000000), [] {});
+    }
+    Nanos t = 0;
+    while (auto fn = q.pop(&t)) benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536);
+
+void BM_EngineSelfScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) e.schedule(1000, tick);
+    };
+    e.schedule(1000, tick);
+    e.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_EngineSelfScheduling);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngLognormal(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.lognormal(1.0, 0.3));
+}
+BENCHMARK(BM_RngLognormal);
+
+void BM_FqEnqueue(benchmark::State& state) {
+  net::FqQdisc fq(100e9);
+  fq.set_flow_rate(1, 10e9);
+  Nanos now = 0;
+  for (auto _ : state) {
+    now = fq.enqueue(1, 9000.0, now);
+    benchmark::DoNotOptimize(now);
+  }
+}
+BENCHMARK(BM_FqEnqueue);
+
+void BM_GsoCounts(benchmark::State& state) {
+  const auto caps =
+      kern::skb_caps(kern::kernel_profile(kern::KernelVersion::V6_8), true, 150 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kern::gso_counts(1e7, caps, false, 9000.0));
+  }
+}
+BENCHMARK(BM_GsoCounts);
+
+void BM_ZcSocketRound(benchmark::State& state) {
+  kern::ZcTxSocket sock(1048576.0);
+  for (auto _ : state) {
+    const auto plan = sock.plan_send(500e6, 65536.0);
+    sock.on_acked(500e6);
+    benchmark::DoNotOptimize(plan.zc_bytes);
+  }
+}
+BENCHMARK(BM_ZcSocketRound);
+
+void BM_CostModelTx(benchmark::State& state) {
+  const cpu::CostModel m(cpu::intel_xeon_6346(), cpu::CostModelOptions{});
+  cpu::TxPathConfig cfg;
+  cfg.zc_fraction = 0.6;
+  cfg.cache_mult = 1.7;
+  for (auto _ : state) benchmark::DoNotOptimize(m.tx_app_cyc_per_byte(cfg));
+}
+BENCHMARK(BM_CostModelTx);
+
+// Whole-transfer simulation rate: one 60-second WAN transfer per iteration.
+void BM_TransferWan60s(benchmark::State& state) {
+  const auto tb = harness::esnet();
+  flow::TransferConfig cfg;
+  cfg.sender = tb.sender;
+  cfg.receiver = tb.receiver;
+  cfg.path = tb.path_named("WAN 63ms");
+  cfg.streams = static_cast<int>(state.range(0));
+  cfg.duration = units::seconds(60);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(flow::run_transfer(cfg).throughput_bps);
+  }
+  state.counters["sim_s_per_wall_s"] =
+      benchmark::Counter(60.0 * static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TransferWan60s)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// LAN transfers tick at 200 us: ~300k rounds per simulated minute.
+void BM_TransferLan60s(benchmark::State& state) {
+  const auto tb = harness::esnet();
+  flow::TransferConfig cfg;
+  cfg.sender = tb.sender;
+  cfg.receiver = tb.receiver;
+  cfg.path = tb.lan();
+  cfg.duration = units::seconds(60);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(flow::run_transfer(cfg).throughput_bps);
+  }
+  state.counters["sim_s_per_wall_s"] =
+      benchmark::Counter(60.0 * static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TransferLan60s)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Table II: ESnet Testbed, WAN results, no flow control (kernel 5.15,
+// 8 streams, 63 ms).
+//
+// Paper values:
+//   unpaced      : 127 Gbps, 73K retr, min 119, max 137, stdev 7.2
+//   25 G/stream  : 136 Gbps, 22K retr, min 104, max 157, stdev 15.8
+//   20 G/stream  : 131 Gbps,  8K retr, min 118, max 142, stdev 8.9
+//   15 G/stream  : 115 Gbps,  4K retr, min 108, max 119, stdev 4.7
+// Key paper observation: flows interfere whenever the total attempted
+// bandwidth exceeds ~120 Gbps on this path.
+#include "bench_common.hpp"
+
+using namespace dtnsim;
+using namespace dtnsim::bench;
+
+int main() {
+  print_header("Table II", "ESnet WAN (63 ms), 8 flows, no flow control (kernel 5.15)",
+               "8 streams, pacing {unpaced, 25, 20, 15} G/flow, 60 s x 10");
+
+  const auto tb = harness::esnet(kern::KernelVersion::V5_15);
+  const char* paper[] = {"127 / 73K / 119-137 / 7.2", "136 / 22K / 104-157 / 15.8",
+                         "131 / 8K / 118-142 / 8.9", "115 / 4K / 108-119 / 4.7"};
+
+  Table table({"Test Config", "Ave Tput", "Retr", "Min", "Max", "stdev",
+               "paper (tput/retr/min-max/sd)"});
+  int i = 0;
+  for (const double pace : {0.0, 25.0, 20.0, 15.0}) {
+    const auto r =
+        standard(Experiment(tb).path("WAN 63ms").streams(8).pacing_gbps(pace)).run();
+    table.add_row({pace > 0 ? strfmt("%.0f Gbps / stream", pace) : "unpaced",
+                   gbps(r.avg_gbps), count(r.avg_retransmits), strfmt("%.0f", r.min_gbps),
+                   strfmt("%.0f", r.max_gbps), strfmt("%.1f", r.stdev_gbps), paper[i++]});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  std::printf("Shape: unpaced retransmits dwarf every paced row; moderate pacing\n"
+              "(25G) beats unpaced; at 15 G/flow (120G attempted) losses nearly\n"
+              "vanish — the paper's 120 Gbps interference threshold.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table III: ESnet production DTNs, IEEE 802.3x flow control available,
+// RTT 63 ms, 8 streams (kernel 5.15).
+//
+// Paper values:
+//   unpaced      : 98 Gbps, 29K retr, per-flow range  9-16 Gbps
+//   15 G/stream  : 98 Gbps, 27K retr, per-flow range 10-13 Gbps
+//   12 G/stream  : 93 Gbps,  8K retr, per-flow range 11-12 Gbps
+//   10 G/stream  : 79 Gbps,  1K retr, per-flow range 10-10 Gbps
+// With flow control, pacing reduces retransmits and evens the flows out but
+// does not change average throughput — until it undershoots the path.
+#include "bench_common.hpp"
+
+using namespace dtnsim;
+using namespace dtnsim::bench;
+
+int main() {
+  print_header("Table III", "ESnet production DTNs, with 802.3x flow control (63 ms)",
+               "8 streams, pacing {unpaced, 15, 12, 10} G/flow, 60 s x 10");
+
+  const auto tb = harness::esnet_production(kern::KernelVersion::V5_15);
+  const char* paper[] = {"98 / 29K / 9-16", "98 / 27K / 10-13", "93 / 8K / 11-12",
+                         "79 / 1K / 10-10"};
+
+  Table table({"Test Config", "Ave Tput", "Retr", "Range", "paper (tput/retr/range)"});
+  int i = 0;
+  for (const double pace : {0.0, 15.0, 12.0, 10.0}) {
+    const auto r = standard(Experiment(tb)
+                                .path("production 63ms")
+                                .streams(8)
+                                .pacing_gbps(pace))
+                       .run();
+    table.add_row({pace > 0 ? strfmt("%.0f Gbps / stream", pace) : "unpaced",
+                   gbps(r.avg_gbps), count(r.avg_retransmits),
+                   strfmt("%.0f-%.0f Gbps", r.flow_min_gbps, r.flow_max_gbps),
+                   paper[i++]});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  std::printf("Shape: throughput flat at the path ceiling until pacing undershoots\n"
+              "(8 x 10 = 80 < path); retransmits fall and the per-flow range\n"
+              "narrows monotonically with deeper pacing (exactly 10-10 at 10G).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Example: quantify what a kernel upgrade buys a specific deployment.
+//
+// "Should we move our DTNs from Ubuntu 22.04 (5.15) to 24.04 (6.8)?" —
+// this example answers with numbers for both single-flow benchmarking and
+// the parallel-stream production profile, on both vendors' hosts.
+//
+//   $ ./kernel_upgrade_study
+#include <cstdio>
+
+#include "dtnsim/core/dtnsim.hpp"
+
+using namespace dtnsim;
+
+namespace {
+
+void study(const char* title, bool esnet) {
+  std::printf("=== %s ===\n\n", title);
+  Table table({"Kernel", "1 stream LAN", "1 stream WAN", "8 streams paced WAN"});
+  const char* wan = esnet ? "WAN 63ms" : "WAN 54ms";
+  const double pace = esnet ? 15.0 : 9.0;
+  for (const auto k : {kern::KernelVersion::V5_15, kern::KernelVersion::V6_5,
+                       kern::KernelVersion::V6_8}) {
+    const auto tb = esnet ? harness::esnet(k) : harness::amlight(k);
+    const auto lan = Experiment(tb).duration_sec(20).repeats(4).run();
+    const auto one = Experiment(tb).path(wan).duration_sec(20).repeats(4).run();
+    const auto many = Experiment(tb)
+                          .path(wan)
+                          .streams(8)
+                          .zerocopy()
+                          .pacing_gbps(pace)
+                          .duration_sec(20)
+                          .repeats(4)
+                          .run();
+    table.add_row({kern::kernel_version_name(k), strfmt("%.1f Gbps", lan.avg_gbps),
+                   strfmt("%.1f Gbps", one.avg_gbps),
+                   strfmt("%.1f Gbps", many.avg_gbps)});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+}
+
+}  // namespace
+
+int main() {
+  study("AMD EPYC hosts (ESnet profile)", true);
+  study("Intel Xeon hosts (AmLight profile)", false);
+
+  std::printf("Reading: single-flow benchmarks gain the full kernel delta\n"
+              "(~30%% AMD, ~27%% Intel LAN, per the paper); a well-paced parallel\n"
+              "production profile is pinned by pacing/path, so the upgrade\n"
+              "mostly buys CPU headroom there rather than throughput.\n\n");
+  std::printf("Ubuntu 22.04 upgrade paths (paper §IV-E):\n"
+              "  6.5: apt install linux-generic-hwe-22.04\n"
+              "  6.8: apt install linux-image-generic-hwe-22.04-edge\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Quickstart: reproduce the paper's headline single-stream result.
+//
+// Runs four configurations of a single TCP stream on the AmLight testbed's
+// 104 ms WAN path (kernel 6.8): default iperf3, zerocopy alone, zerocopy
+// with 50 Gbps pacing, and BIG TCP — then prints the paper-style comparison.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "dtnsim/core/dtnsim.hpp"
+
+int main() {
+  using namespace dtnsim;
+
+  const auto tb = harness::amlight(kern::KernelVersion::V6_8);
+
+  struct Config {
+    const char* label;
+    bool zerocopy;
+    double pace_gbps;
+    bool big_tcp;
+  };
+  const Config configs[] = {
+      {"default", false, 0.0, false},
+      {"zerocopy", true, 0.0, false},
+      {"zerocopy + pacing 50G", true, 50.0, false},
+      {"BIG TCP (150K)", false, 0.0, true},
+  };
+
+  Table table({"Configuration", "Throughput", "stddev", "Retransmits", "Sender CPU"});
+  for (const auto& c : configs) {
+    auto result = Experiment(tb)
+                      .path("WAN 104ms")
+                      .zerocopy(c.zerocopy)
+                      .pacing_gbps(c.pace_gbps)
+                      .big_tcp(c.big_tcp)
+                      .repeats(5)
+                      .duration_sec(20)
+                      .run();
+    table.add_row({c.label, strfmt("%.1f Gbps", result.avg_gbps),
+                   strfmt("%.1f", result.stdev_gbps),
+                   strfmt("%.0f", result.avg_retransmits),
+                   strfmt("%.0f%%", result.snd_cpu_pct)});
+  }
+
+  std::printf("Single stream, AmLight testbed, 104 ms WAN path, kernel 6.8\n\n%s\n",
+              table.to_ascii().c_str());
+  std::printf("Expected shape (paper Fig. 5): zerocopy alone does not help;\n"
+              "zerocopy + pacing reaches the 50G pacing rate (~35%% over default);\n"
+              "BIG TCP gives a smaller (<=16%%) improvement.\n");
+  return 0;
+}

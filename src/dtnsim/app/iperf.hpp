@@ -1,0 +1,81 @@
+// iperf3-like traffic tool model.
+//
+// The paper uses iperf3 v3.17 with two patches: #1690 (adds --zerocopy=z
+// using MSG_ZEROCOPY and --skip-rx-copy using MSG_TRUNC, inspired by neper)
+// and #1728 (widens --fq-rate to 64 bits so pacing above 32 Gbps works).
+// v3.16 introduced multi-threaded parallel streams, required for -P tests.
+// IperfTool validates an option set against a tool version exactly the way
+// the real binary would accept or mangle it, then drives TransferSimulation.
+#pragma once
+
+#include <string>
+
+#include "dtnsim/flow/transfer.hpp"
+#include "dtnsim/util/json.hpp"
+
+namespace dtnsim::app {
+
+struct IperfVersion {
+  int major = 3;
+  int minor = 17;
+  bool patch_1690 = true;  // --zerocopy=z / --skip-rx-copy
+  bool patch_1728 = true;  // 64-bit --fq-rate
+
+  bool multithreaded() const { return major > 3 || (major == 3 && minor >= 16); }
+  static IperfVersion patched_3_17() { return IperfVersion{}; }
+  static IperfVersion stock_3_16() { return IperfVersion{3, 16, false, false}; }
+};
+
+struct IperfOptions {
+  int parallel = 1;                 // -P
+  double duration_sec = 60.0;       // -t
+  double fq_rate_bps = 0.0;         // --fq-rate (per stream)
+  bool zerocopy = false;            // --zerocopy=z
+  bool skip_rx_copy = false;        // --skip-rx-copy
+  kern::CongestionAlgo congestion = kern::CongestionAlgo::Cubic;  // -C
+  bool json = false;                // --json
+};
+
+// What the tool will actually do, after version checks.
+struct EffectiveOptions {
+  IperfOptions requested;
+  double fq_rate_bps = 0.0;  // 32-bit-truncated without patch 1728
+  bool zerocopy = false;
+  bool skip_rx_copy = false;
+  int parallel = 1;
+  std::string warnings;
+};
+
+EffectiveOptions resolve_options(const IperfOptions& opts, const IperfVersion& version);
+
+struct IperfReport {
+  double sum_sent_gbps = 0.0;
+  double sum_received_gbps = 0.0;
+  std::vector<double> per_stream_gbps;
+  double retransmits = 0.0;
+  double sender_cpu_pct = 0.0;
+  double receiver_cpu_pct = 0.0;
+  std::vector<double> interval_gbps;
+
+  // iperf3 --json style output (subset of the real schema).
+  Json to_json(const IperfOptions& opts) const;
+  std::string summary_line() const;
+};
+
+class IperfTool {
+ public:
+  explicit IperfTool(IperfVersion version = IperfVersion::patched_3_17())
+      : version_(version) {}
+
+  // Run client/server over the given hosts and path.
+  IperfReport run(const host::HostConfig& client, const host::HostConfig& server,
+                  const net::PathSpec& path, const IperfOptions& opts,
+                  bool link_flow_control = false, std::uint64_t seed = 1) const;
+
+  const IperfVersion& version() const { return version_; }
+
+ private:
+  IperfVersion version_;
+};
+
+}  // namespace dtnsim::app

@@ -1,0 +1,20 @@
+#include "dtnsim/app/mpstat.hpp"
+
+#include "dtnsim/util/strfmt.hpp"
+
+namespace dtnsim::app {
+
+MpstatReport mpstat_from(const flow::CpuUtilization& cpu, int irq_cores) {
+  MpstatReport r;
+  r.app_core_pct = cpu.app_util * 100.0;
+  r.irq_cores_pct = cpu.irq_util * 100.0 * static_cast<double>(irq_cores);
+  r.combined_pct = cpu.cores_pct;
+  return r;
+}
+
+std::string MpstatReport::to_string(const std::string& host_label) const {
+  return strfmt("%s: app %.0f%%, irq %.0f%%, combined %.0f%%", host_label.c_str(),
+                app_core_pct, irq_cores_pct, combined_pct);
+}
+
+}  // namespace dtnsim::app

@@ -1,0 +1,20 @@
+// mpstat-style CPU reporting (the harness runs "mpstat alongside iperf3").
+#pragma once
+
+#include <string>
+
+#include "dtnsim/flow/transfer.hpp"
+
+namespace dtnsim::app {
+
+struct MpstatReport {
+  double app_core_pct = 0.0;   // the traffic tool's core(s), % of one core
+  double irq_cores_pct = 0.0;  // NIC IRQ cores aggregate, % of one core
+  double combined_pct = 0.0;   // the paper's "TX/RX Cores" metric
+
+  std::string to_string(const std::string& host_label) const;
+};
+
+MpstatReport mpstat_from(const flow::CpuUtilization& cpu, int irq_cores);
+
+}  // namespace dtnsim::app

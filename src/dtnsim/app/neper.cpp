@@ -1,0 +1,60 @@
+#include "dtnsim/app/neper.hpp"
+
+#include <algorithm>
+
+#include "dtnsim/util/strfmt.hpp"
+
+namespace dtnsim::app {
+
+NeperReport NeperTool::run(const host::HostConfig& local, const host::HostConfig& remote,
+                           const net::PathSpec& path, const NeperOptions& opts,
+                           bool link_flow_control, std::uint64_t seed) const {
+  flow::TransferConfig cfg;
+  cfg.sender = local;
+  cfg.receiver = remote;
+  cfg.path = path;
+  cfg.streams = std::max(opts.num_flows, 1);
+  cfg.flow.zerocopy = opts.zerocopy;
+  cfg.flow.skip_rx_copy = opts.skip_rx_copy;
+  cfg.flow.fq_rate_bps = opts.max_pacing_rate_bps;
+  cfg.flow.congestion = opts.congestion;
+  cfg.link_flow_control = link_flow_control;
+  cfg.duration = units::seconds(opts.warmup_sec + opts.test_length_sec);
+  cfg.seed = seed;
+
+  const auto res = flow::run_transfer(cfg);
+
+  NeperReport rep;
+  // Exclude the warm-up from the reported rate using the interval series.
+  const auto first = static_cast<std::size_t>(opts.warmup_sec);
+  double bytes_after_warmup = 0.0;
+  double seconds_after_warmup = 0.0;
+  for (std::size_t i = first; i < res.interval_bps.size(); ++i) {
+    bytes_after_warmup += res.interval_bps[i] / 8.0;
+    seconds_after_warmup += 1.0;
+  }
+  rep.throughput_gbps =
+      seconds_after_warmup > 0
+          ? units::to_gbps(bytes_after_warmup * 8.0 / seconds_after_warmup)
+          : units::to_gbps(res.throughput_bps);
+  for (double bps : res.per_flow_bps) rep.flow_gbps.push_back(units::to_gbps(bps));
+  rep.retransmits = res.retransmit_segments;
+  rep.local_cpu_pct = res.sender_cpu.cores_pct;
+  rep.remote_cpu_pct = res.receiver_cpu.cores_pct;
+  return rep;
+}
+
+std::string NeperReport::to_key_value() const {
+  std::string out;
+  out += strfmt("throughput_Mbps=%.0f\n", throughput_gbps * 1000.0);
+  out += strfmt("num_flows=%zu\n", flow_gbps.size());
+  for (std::size_t i = 0; i < flow_gbps.size(); ++i) {
+    out += strfmt("flow_%zu_Mbps=%.0f\n", i, flow_gbps[i] * 1000.0);
+  }
+  out += strfmt("retransmits=%.0f\n", retransmits);
+  out += strfmt("local_cpu_percent=%.1f\n", local_cpu_pct);
+  out += strfmt("remote_cpu_percent=%.1f\n", remote_cpu_pct);
+  return out;
+}
+
+}  // namespace dtnsim::app

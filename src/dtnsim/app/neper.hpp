@@ -1,0 +1,45 @@
+// neper-like workload model (https://github.com/google/neper).
+//
+// The paper's iperf3 patch #1690 lifted --skip-rx-copy and --zerocopy from
+// Google's neper, which grew these first. neper's tcp_stream differs from
+// iperf3 in workflow: N independent flows (not threads of one test), a
+// warm-up period excluded from the measurement, and per-flow sample output.
+// Modelling it gives the repo a second, independently-shaped traffic tool —
+// useful to confirm conclusions are not iperf3 artifacts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dtnsim/flow/transfer.hpp"
+
+namespace dtnsim::app {
+
+struct NeperOptions {
+  int num_flows = 1;              // -F/--num-flows
+  double test_length_sec = 10.0;  // -l/--test-length
+  double warmup_sec = 1.0;        // excluded from the reported rate
+  bool zerocopy = false;          // -Z (SO_ZEROCOPY + MSG_ZEROCOPY)
+  bool skip_rx_copy = false;      // --skip-rx-copy (MSG_TRUNC)
+  double max_pacing_rate_bps = 0; // -M (SO_MAX_PACING_RATE, per flow)
+  kern::CongestionAlgo congestion = kern::CongestionAlgo::Cubic;
+};
+
+struct NeperReport {
+  double throughput_gbps = 0.0;   // aggregate, warm-up excluded
+  std::vector<double> flow_gbps;  // per-flow averages
+  double retransmits = 0.0;
+  double local_cpu_pct = 0.0;
+  double remote_cpu_pct = 0.0;
+  // neper prints key=value lines.
+  std::string to_key_value() const;
+};
+
+class NeperTool {
+ public:
+  NeperReport run(const host::HostConfig& local, const host::HostConfig& remote,
+                  const net::PathSpec& path, const NeperOptions& opts,
+                  bool link_flow_control = false, std::uint64_t seed = 1) const;
+};
+
+}  // namespace dtnsim::app

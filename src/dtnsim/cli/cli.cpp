@@ -1,0 +1,251 @@
+#include "dtnsim/cli/cli.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "dtnsim/util/strfmt.hpp"
+
+namespace dtnsim::cli {
+using app::IperfOptions;
+
+std::optional<double> parse_rate(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0) return std::nullopt;
+  std::string suffix(end);
+  if (suffix.empty()) return value;
+  if (suffix.size() != 1) return std::nullopt;
+  switch (std::tolower(static_cast<unsigned char>(suffix[0]))) {
+    case 'k':
+      return value * 1e3;
+    case 'm':
+      return value * 1e6;
+    case 'g':
+      return value * 1e9;
+    case 't':
+      return value * 1e12;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<kern::KernelVersion> parse_kernel(const std::string& text) {
+  if (text == "5.10") return kern::KernelVersion::V5_10;
+  if (text == "5.15") return kern::KernelVersion::V5_15;
+  if (text == "6.5") return kern::KernelVersion::V6_5;
+  if (text == "6.8") return kern::KernelVersion::V6_8;
+  if (text == "6.11") return kern::KernelVersion::V6_11;
+  return std::nullopt;
+}
+
+std::optional<kern::CongestionAlgo> parse_congestion(const std::string& text) {
+  if (text == "cubic") return kern::CongestionAlgo::Cubic;
+  if (text == "bbr") return kern::CongestionAlgo::BbrV1;
+  if (text == "bbr3") return kern::CongestionAlgo::BbrV3;
+  if (text == "reno") return kern::CongestionAlgo::Reno;
+  return std::nullopt;
+}
+
+namespace {
+
+bool needs_value(const std::string& flag) {
+  return flag == "-P" || flag == "--parallel" || flag == "-t" || flag == "--time" ||
+         flag == "-C" || flag == "--congestion" || flag == "--fq-rate" ||
+         flag == "--testbed" || flag == "--path" || flag == "--kernel" ||
+         flag == "--optmem" || flag == "--ring" || flag == "--repeats" ||
+         flag == "--seed";
+}
+
+}  // namespace
+
+CliOptions parse_cli(const std::vector<std::string>& args) {
+  CliOptions o;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    std::string value;
+    if (needs_value(flag)) {
+      if (i + 1 >= args.size()) {
+        o.error = "missing value for " + flag;
+        return o;
+      }
+      value = args[++i];
+    }
+
+    if (flag == "-h" || flag == "--help") {
+      o.show_help = true;
+    } else if (flag == "-P" || flag == "--parallel") {
+      o.iperf.parallel = std::atoi(value.c_str());
+      if (o.iperf.parallel < 1 || o.iperf.parallel > 128) {
+        o.error = "parallel streams must be in [1, 128]";
+        return o;
+      }
+    } else if (flag == "-t" || flag == "--time") {
+      o.iperf.duration_sec = std::atof(value.c_str());
+      if (o.iperf.duration_sec <= 0) {
+        o.error = "duration must be positive";
+        return o;
+      }
+    } else if (flag == "-C" || flag == "--congestion") {
+      const auto algo = parse_congestion(value);
+      if (!algo) {
+        o.error = "unknown congestion algorithm: " + value;
+        return o;
+      }
+      o.iperf.congestion = *algo;
+    } else if (flag == "--fq-rate") {
+      const auto rate = parse_rate(value);
+      if (!rate) {
+        o.error = "bad --fq-rate: " + value;
+        return o;
+      }
+      o.iperf.fq_rate_bps = *rate;
+    } else if (flag == "-Z" || flag == "--zerocopy" || flag == "--zerocopy=z") {
+      o.iperf.zerocopy = true;
+    } else if (flag == "--skip-rx-copy") {
+      o.iperf.skip_rx_copy = true;
+    } else if (flag == "-J" || flag == "--json") {
+      o.iperf.json = true;
+    } else if (flag == "--testbed") {
+      o.testbed = value;
+    } else if (flag == "--path") {
+      o.path = value;
+    } else if (flag == "--kernel") {
+      const auto k = parse_kernel(value);
+      if (!k) {
+        o.error = "unknown kernel: " + value + " (5.10/5.15/6.5/6.8/6.11)";
+        return o;
+      }
+      o.kernel = *k;
+    } else if (flag == "--optmem") {
+      const auto bytes = parse_rate(value);
+      if (!bytes) {
+        o.error = "bad --optmem: " + value;
+        return o;
+      }
+      o.optmem_max = *bytes;
+    } else if (flag == "--big-tcp") {
+      o.big_tcp = true;
+      // Optional size argument.
+      if (i + 1 < args.size() && !args[i + 1].empty() && args[i + 1][0] != '-') {
+        if (const auto sz = parse_rate(args[i + 1])) {
+          o.big_tcp_bytes = *sz;
+          ++i;
+        }
+      }
+    } else if (flag == "--ring") {
+      o.ring = std::atoi(value.c_str());
+    } else if (flag == "--repeats") {
+      o.repeats = std::max(std::atoi(value.c_str()), 1);
+    } else if (flag == "--seed") {
+      o.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      o.error = "unknown flag: " + flag;
+      return o;
+    }
+  }
+  return o;
+}
+
+std::string cli_help() {
+  return
+      "dtnsim-iperf3 — iperf3-compatible driver for the dtnsim simulator\n"
+      "\n"
+      "iperf3 flags:\n"
+      "  -P, --parallel N       parallel streams (multithreaded, iperf3 >= 3.16)\n"
+      "  -t, --time SEC         duration per run (default 60)\n"
+      "  -C, --congestion A     cubic | bbr | bbr3 | reno\n"
+      "      --fq-rate RATE     per-stream pacing, e.g. 50G (patch #1728)\n"
+      "  -Z, --zerocopy         MSG_ZEROCOPY sends (patch #1690)\n"
+      "      --skip-rx-copy     MSG_TRUNC receives (patch #1690)\n"
+      "  -J, --json             JSON output\n"
+      "simulator flags:\n"
+      "      --testbed NAME     amlight | amlight-baremetal | esnet | production\n"
+      "      --path NAME        e.g. 'WAN 63ms' (default: testbed LAN)\n"
+      "      --kernel VER       5.10 | 5.15 | 6.5 | 6.8 | 6.11\n"
+      "      --optmem BYTES     net.core.optmem_max (e.g. 1M, 3405376)\n"
+      "      --big-tcp [SIZE]   enable BIG TCP (default 150K)\n"
+      "      --ring N           RX/TX ring descriptors\n"
+      "      --repeats N        repeats with seed substreams (default 1)\n"
+      "      --seed N           RNG seed\n";
+}
+
+harness::TestSpec spec_from_cli(const CliOptions& opts) {
+  harness::Testbed tb;
+  if (opts.testbed == "amlight") {
+    tb = harness::amlight(opts.kernel);
+  } else if (opts.testbed == "amlight-baremetal") {
+    tb = harness::amlight_baremetal(opts.kernel);
+  } else if (opts.testbed == "esnet") {
+    tb = harness::esnet(opts.kernel);
+  } else if (opts.testbed == "production") {
+    tb = harness::esnet_production(opts.kernel);
+  } else {
+    throw std::invalid_argument("unknown testbed: " + opts.testbed);
+  }
+
+  const std::string path_name = opts.path.empty() ? tb.lan().name : opts.path;
+  auto spec = harness::TestSpec::on(tb, path_name, opts.iperf);
+  spec.repeats = opts.repeats;
+  spec.base_seed = opts.seed;
+  for (auto* h : {&spec.sender, &spec.receiver}) {
+    if (opts.optmem_max >= 0) h->tuning.sysctl.optmem_max = opts.optmem_max;
+    if (opts.big_tcp) {
+      h->tuning.big_tcp_enabled = true;
+      h->tuning.big_tcp_bytes = opts.big_tcp_bytes;
+    }
+    if (opts.ring > 0) h->tuning.ring_descriptors = opts.ring;
+  }
+  return spec;
+}
+
+int run_cli(const CliOptions& opts, std::string& output) {
+  if (!opts.error.empty()) {
+    output = "error: " + opts.error + "\n\n" + cli_help();
+    return 2;
+  }
+  if (opts.show_help) {
+    output = cli_help();
+    return 0;
+  }
+
+  harness::TestSpec spec;
+  try {
+    spec = spec_from_cli(opts);
+  } catch (const std::exception& e) {  // unknown testbed or path name
+    output = strfmt("error: %s\n", e.what());
+    return 2;
+  }
+
+  const auto result = harness::run_test(spec);
+
+  if (opts.iperf.json) {
+    Json j = Json::object();
+    j["title"] = spec.name;
+    j["repeats"] = result.repeats;
+    j["end"]["sum_received"]["bits_per_second"] = result.avg_gbps * 1e9;
+    j["end"]["sum_received"]["stdev_gbps"] = result.stdev_gbps;
+    j["end"]["sum_received"]["min_gbps"] = result.min_gbps;
+    j["end"]["sum_received"]["max_gbps"] = result.max_gbps;
+    j["end"]["sum_sent"]["retransmits"] = result.avg_retransmits;
+    j["end"]["cpu_utilization_percent"]["host_total"] = result.snd_cpu_pct;
+    j["end"]["cpu_utilization_percent"]["remote_total"] = result.rcv_cpu_pct;
+    Json samples = Json::array();
+    for (double g : result.samples_gbps) samples.push_back(g);
+    j["samples_gbps"] = std::move(samples);
+    output = j.dump(2) + "\n";
+  } else {
+    output = strfmt(
+        "%s\n"
+        "  throughput : %.2f Gbps (min %.2f, max %.2f, stdev %.2f, %d repeats)\n"
+        "  retransmits: %.0f\n"
+        "  sender CPU : %.0f%%   receiver CPU: %.0f%%\n",
+        result.name.c_str(), result.avg_gbps, result.min_gbps, result.max_gbps,
+        result.stdev_gbps, result.repeats, result.avg_retransmits, result.snd_cpu_pct,
+        result.rcv_cpu_pct);
+  }
+  return 0;
+}
+
+}  // namespace dtnsim::cli

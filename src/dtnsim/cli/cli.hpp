@@ -1,0 +1,66 @@
+// Command-line front end: an iperf3-flag-compatible driver for the
+// simulator (tools/dtnsim-iperf3) plus the advisor CLI. Parsing lives here
+// so it is unit-testable; the tool binaries are thin mains.
+//
+// Supported surface (mirrors the patched iperf3 v3.17 where it makes sense):
+//   -P/--parallel N         parallel streams
+//   -t/--time SEC           duration
+//   -C/--congestion ALGO    cubic | bbr | bbr3 | reno
+//   --fq-rate RATE          per-stream pacing; accepts 50G / 500M / 1000000
+//   -Z/--zerocopy[=z]       MSG_ZEROCOPY send path
+//   --skip-rx-copy          MSG_TRUNC receive
+//   -J/--json               JSON output (iperf3 schema subset)
+// Simulator extensions:
+//   --testbed NAME          amlight | amlight-baremetal | esnet | production
+//   --path NAME             e.g. "WAN 63ms" (default: the testbed LAN)
+//   --kernel VER            5.10 | 5.15 | 6.5 | 6.8 | 6.11
+//   --optmem BYTES          net.core.optmem_max (accepts suffixes)
+//   --big-tcp [SIZE]        enable BIG TCP (default 150K)
+//   --ring N                RX/TX descriptors
+//   --repeats N             harness repeats (default 1)
+//   --seed N                RNG seed
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dtnsim/harness/runner.hpp"
+
+namespace dtnsim::cli {
+using app::IperfOptions;
+
+// "50G" -> 50e9, "1.5m" -> 1.5e6, "1048576" -> 1048576. nullopt on garbage.
+std::optional<double> parse_rate(const std::string& text);
+
+std::optional<kern::KernelVersion> parse_kernel(const std::string& text);
+std::optional<kern::CongestionAlgo> parse_congestion(const std::string& text);
+
+struct CliOptions {
+  bool show_help = false;
+  std::string error;  // non-empty -> parse failed, message for the user
+
+  std::string testbed = "esnet";
+  std::string path;           // empty -> testbed LAN
+  kern::KernelVersion kernel = kern::KernelVersion::V6_8;
+  IperfOptions iperf;
+  double optmem_max = -1.0;   // < 0 -> testbed default
+  bool big_tcp = false;
+  double big_tcp_bytes = 150.0 * 1024.0;
+  int ring = -1;              // < 0 -> testbed default
+  int repeats = 1;
+  std::uint64_t seed = 0x5eed;
+};
+
+CliOptions parse_cli(const std::vector<std::string>& args);
+
+std::string cli_help();
+
+// Build the harness spec a parsed command line describes. Throws
+// std::invalid_argument for an unknown testbed/path.
+harness::TestSpec spec_from_cli(const CliOptions& opts);
+
+// Run and render (text or JSON). Returns a process exit code.
+int run_cli(const CliOptions& opts, std::string& output);
+
+}  // namespace dtnsim::cli

@@ -1,0 +1,45 @@
+// TuningAdvisor: the paper's §V recommendations as executable checks.
+//
+// Give it a host configuration and a use case (single-flow benchmarking or
+// parallel-stream DTN); it returns the ordered list of findings a fasterdata
+// engineer would flag, each with the paper-backed expected impact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dtnsim/host/host.hpp"
+#include "dtnsim/net/path.hpp"
+
+namespace dtnsim {
+
+enum class UseCase {
+  SingleFlowBenchmark,  // maximum single-stream throughput (§V-A)
+  ParallelStreamDtn,    // production DTN with parallel streams (§V-B)
+};
+
+enum class Severity { Critical, Recommended, Informational };
+
+struct Finding {
+  Severity severity = Severity::Recommended;
+  std::string setting;   // what to change
+  std::string rationale; // why, with the paper's measured impact
+};
+
+struct Advice {
+  std::vector<Finding> findings;
+
+  bool has_critical() const;
+  std::string to_string() const;
+};
+
+// `path` gives context (WAN vs LAN, link flow control availability).
+Advice advise(const host::HostConfig& host, const net::PathSpec& path, UseCase use_case,
+              bool link_flow_control);
+
+// Per-flow pacing the paper would suggest for a DTN serving `client_gbps`
+// clients over an `nic_gbps` NIC (§V-B: 1 Gbps for 10G clients, 5-8 Gbps
+// between 100G hosts).
+double recommended_pacing_gbps(double nic_gbps, double client_gbps);
+
+}  // namespace dtnsim

@@ -1,0 +1,121 @@
+#include "dtnsim/core/experiment.hpp"
+
+namespace dtnsim {
+
+Experiment::Experiment(harness::Testbed testbed)
+    : testbed_(std::move(testbed)), path_name_(testbed_.lan().name) {}
+
+Experiment& Experiment::path(const std::string& path_name) {
+  path_name_ = path_name;
+  return *this;
+}
+
+Experiment& Experiment::streams(int n) {
+  iperf_.parallel = n;
+  return *this;
+}
+
+Experiment& Experiment::zerocopy(bool on) {
+  iperf_.zerocopy = on;
+  return *this;
+}
+
+Experiment& Experiment::skip_rx_copy(bool on) {
+  iperf_.skip_rx_copy = on;
+  return *this;
+}
+
+Experiment& Experiment::pacing_gbps(double gbps) {
+  iperf_.fq_rate_bps = units::gbps(gbps);
+  return *this;
+}
+
+Experiment& Experiment::congestion(kern::CongestionAlgo algo) {
+  iperf_.congestion = algo;
+  return *this;
+}
+
+Experiment& Experiment::kernel(kern::KernelVersion version) {
+  testbed_.sender.kernel = kern::kernel_profile(version);
+  testbed_.receiver.kernel = kern::kernel_profile(version);
+  return *this;
+}
+
+Experiment& Experiment::optmem_max(double bytes) {
+  testbed_.sender.tuning.sysctl.optmem_max = bytes;
+  testbed_.receiver.tuning.sysctl.optmem_max = bytes;
+  return *this;
+}
+
+Experiment& Experiment::big_tcp(bool on, double size_bytes) {
+  for (auto* h : {&testbed_.sender, &testbed_.receiver}) {
+    h->tuning.big_tcp_enabled = on;
+    h->tuning.big_tcp_bytes = size_bytes;
+  }
+  return *this;
+}
+
+Experiment& Experiment::hw_gro(bool on) {
+  testbed_.receiver.tuning.hw_gro_enabled = on;
+  return *this;
+}
+
+Experiment& Experiment::mtu(double bytes) {
+  testbed_.sender.tuning.mtu_bytes = bytes;
+  testbed_.receiver.tuning.mtu_bytes = bytes;
+  return *this;
+}
+
+Experiment& Experiment::ring(int descriptors) {
+  testbed_.sender.tuning.ring_descriptors = descriptors;
+  testbed_.receiver.tuning.ring_descriptors = descriptors;
+  return *this;
+}
+
+Experiment& Experiment::iommu_passthrough(bool on) {
+  testbed_.sender.tuning.iommu_passthrough = on;
+  testbed_.receiver.tuning.iommu_passthrough = on;
+  return *this;
+}
+
+Experiment& Experiment::irqbalance(bool enabled) {
+  testbed_.sender.tuning.irqbalance_disabled = !enabled;
+  testbed_.receiver.tuning.irqbalance_disabled = !enabled;
+  return *this;
+}
+
+Experiment& Experiment::flow_control(bool on) {
+  testbed_.link_flow_control = on;
+  return *this;
+}
+
+Experiment& Experiment::duration_sec(double seconds) {
+  iperf_.duration_sec = seconds;
+  return *this;
+}
+
+Experiment& Experiment::repeats(int n) {
+  repeats_ = n;
+  return *this;
+}
+
+Experiment& Experiment::seed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+Experiment& Experiment::label(std::string name) {
+  label_ = std::move(name);
+  return *this;
+}
+
+harness::TestSpec Experiment::spec() const {
+  harness::TestSpec s = harness::TestSpec::on(testbed_, path_name_, iperf_, label_);
+  s.repeats = repeats_;
+  s.base_seed = seed_;
+  return s;
+}
+
+harness::TestResult Experiment::run() const { return harness::run_test(spec()); }
+
+}  // namespace dtnsim

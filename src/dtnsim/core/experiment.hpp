@@ -1,0 +1,48 @@
+// Fluent experiment builder over the test harness.
+#pragma once
+
+#include <string>
+
+#include "dtnsim/harness/runner.hpp"
+
+namespace dtnsim {
+
+class Experiment {
+ public:
+  explicit Experiment(harness::Testbed testbed);
+
+  Experiment& path(const std::string& path_name);
+  Experiment& streams(int n);
+  Experiment& zerocopy(bool on = true);
+  Experiment& skip_rx_copy(bool on = true);
+  // Per-stream pacing; 0 disables.
+  Experiment& pacing_gbps(double gbps);
+  Experiment& congestion(kern::CongestionAlgo algo);
+  Experiment& kernel(kern::KernelVersion version);
+  Experiment& optmem_max(double bytes);
+  Experiment& big_tcp(bool on, double size_bytes = 150.0 * 1024.0);
+  Experiment& hw_gro(bool on = true);
+  Experiment& mtu(double bytes);
+  Experiment& ring(int descriptors);
+  Experiment& iommu_passthrough(bool on);
+  Experiment& irqbalance(bool enabled);
+  Experiment& flow_control(bool on);
+  Experiment& duration_sec(double seconds);
+  Experiment& repeats(int n);
+  Experiment& seed(std::uint64_t seed);
+  Experiment& label(std::string name);
+
+  // The spec this builder will run (inspectable before running).
+  harness::TestSpec spec() const;
+  harness::TestResult run() const;
+
+ private:
+  harness::Testbed testbed_;
+  std::string path_name_;
+  app::IperfOptions iperf_;
+  int repeats_ = 10;
+  std::uint64_t seed_ = 0x5eed;
+  std::string label_;
+};
+
+}  // namespace dtnsim

@@ -1,0 +1,74 @@
+#include "dtnsim/cpu/affinity.hpp"
+
+#include <algorithm>
+
+namespace dtnsim::cpu {
+
+double PlacementQuality::app_cost_mult() const {
+  double m = 1.0;
+  // Remote-NUMA app core: every payload byte crosses the socket interconnect.
+  if (!app_numa_local) m *= 1.45;
+  // App thread sharing a core with NIC interrupts: context-switch and cache
+  // thrash between softirq and the copy loop.
+  if (!irq_separated) m *= 1.55;
+  return m;
+}
+
+double PlacementQuality::irq_cost_mult() const {
+  double m = 1.0;
+  if (!irq_numa_local) m *= 1.30;
+  return m;
+}
+
+Placement tuned_placement(const Topology& topo, int streams, int nic_numa) {
+  Placement p;
+  p.nic_numa_node = nic_numa;
+  const auto local = topo.cores_on_numa(nic_numa);
+  // First 8 local cores take IRQs, the following cores take app threads —
+  // mirroring `set_irq_affinity_cpulist.sh 0-7` + `numactl -C 8-15`.
+  const std::size_t irq_count = std::min<std::size_t>(8, local.size() / 2);
+  p.irq_cores.assign(local.begin(), local.begin() + static_cast<std::ptrdiff_t>(irq_count));
+  for (std::size_t i = irq_count; i < local.size() && p.app_cores.size() < static_cast<std::size_t>(streams);
+       ++i) {
+    p.app_cores.push_back(local[i]);
+  }
+  // More streams than local cores: reuse local app cores round-robin rather
+  // than spilling to the remote node (iperf3 threads share cores).
+  while (p.app_cores.size() < static_cast<std::size_t>(streams) && !p.app_cores.empty()) {
+    p.app_cores.push_back(p.app_cores[p.app_cores.size() % irq_count]);
+  }
+  return p;
+}
+
+Placement irqbalance_placement(const Topology& topo, int streams, int nic_numa, Rng& rng) {
+  Placement p;
+  p.nic_numa_node = nic_numa;
+  const int n = topo.num_cores();
+  // irqbalance spreads NIC queue interrupts over all cores.
+  for (int i = 0; i < 8; ++i) {
+    p.irq_cores.push_back(static_cast<int>(rng.uniform_int(0, n - 1)));
+  }
+  std::sort(p.irq_cores.begin(), p.irq_cores.end());
+  p.irq_cores.erase(std::unique(p.irq_cores.begin(), p.irq_cores.end()), p.irq_cores.end());
+  // The scheduler picks arbitrary cores for the app threads.
+  for (int i = 0; i < streams; ++i) {
+    p.app_cores.push_back(static_cast<int>(rng.uniform_int(0, n - 1)));
+  }
+  return p;
+}
+
+PlacementQuality assess_placement(const Topology& topo, const Placement& p) {
+  PlacementQuality q;
+  q.app_numa_local = std::all_of(p.app_cores.begin(), p.app_cores.end(), [&](int c) {
+    return topo.core(c).numa_node == p.nic_numa_node;
+  });
+  q.irq_numa_local = std::all_of(p.irq_cores.begin(), p.irq_cores.end(), [&](int c) {
+    return topo.core(c).numa_node == p.nic_numa_node;
+  });
+  q.irq_separated = std::none_of(p.app_cores.begin(), p.app_cores.end(), [&](int a) {
+    return std::find(p.irq_cores.begin(), p.irq_cores.end(), a) != p.irq_cores.end();
+  });
+  return q;
+}
+
+}  // namespace dtnsim::cpu

@@ -1,0 +1,47 @@
+// IRQ / application core placement.
+//
+// The paper found single-flow throughput varying from 20 to 55 Gbps on the
+// same hardware depending on scheduler/irqbalance placement, and fixed it
+// with `set_irq_affinity_cpulist.sh 0-7 ethN` plus `numactl -C 8-15 iperf3`.
+// A Placement captures one concrete assignment; PlacementQuality condenses
+// it into the penalty factors the cost model consumes.
+#pragma once
+
+#include <vector>
+
+#include "dtnsim/cpu/topology.hpp"
+#include "dtnsim/util/rng.hpp"
+
+namespace dtnsim::cpu {
+
+struct Placement {
+  std::vector<int> irq_cores;  // cores receiving NIC interrupts
+  std::vector<int> app_cores;  // cores running the traffic tool's threads
+  int nic_numa_node = 0;       // NUMA node the NIC is attached to
+};
+
+struct PlacementQuality {
+  // App threads run on the NIC's NUMA node (memory and DMA locality).
+  bool app_numa_local = true;
+  // IRQ handling does not share cores with app threads.
+  bool irq_separated = true;
+  // IRQs land on the NIC's NUMA node.
+  bool irq_numa_local = true;
+
+  // Multipliers applied to per-byte costs (>= 1.0).
+  double app_cost_mult() const;
+  double irq_cost_mult() const;
+};
+
+// The tuned placement from the paper: IRQs on cores 0-7, app on 8-15, all on
+// the NIC's NUMA node. `streams` app cores are used (one per iperf3 thread).
+Placement tuned_placement(const Topology& topo, int streams = 1, int nic_numa = 0);
+
+// The untuned case: irqbalance spreads IRQs and the scheduler places app
+// threads anywhere. Placement is sampled per run, which reproduces the
+// 20-55 Gbps variability.
+Placement irqbalance_placement(const Topology& topo, int streams, int nic_numa, Rng& rng);
+
+PlacementQuality assess_placement(const Topology& topo, const Placement& p);
+
+}  // namespace dtnsim::cpu

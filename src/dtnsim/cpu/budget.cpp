@@ -1,0 +1,26 @@
+#include "dtnsim/cpu/budget.hpp"
+
+#include <algorithm>
+
+namespace dtnsim::cpu {
+
+void CoreBudget::reset(double capacity_cycles) {
+  capacity_ = std::max(capacity_cycles, 0.0);
+  used_ = 0.0;
+}
+
+double CoreBudget::consume(double cycles) {
+  const double granted = std::min(std::max(cycles, 0.0), remaining());
+  used_ += granted;
+  return granted;
+}
+
+void CoreBudget::charge(double cycles) {
+  used_ = std::min(capacity_, used_ + std::max(cycles, 0.0));
+}
+
+void CorePool::begin_tick(double dt_sec) {
+  budget_.reset(static_cast<double>(cores_) * hz_ * dt_sec);
+}
+
+}  // namespace dtnsim::cpu

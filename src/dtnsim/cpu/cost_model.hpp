@@ -1,0 +1,97 @@
+// Cycle-cost model of the Linux network TX/RX paths.
+//
+// All throughput ceilings in the paper are cycle budgets: the receiver's
+// copy_to_user loop, the sender's copy_from_user + protocol work, IRQ/GRO
+// handling, and (for MSG_ZEROCOPY) page pinning and completion processing.
+// This model prices each primitive in CPU cycles per byte or per packet,
+// scaled by
+//   - a vendor profile (AVX-512 lowers per-byte copy/checksum cost — the
+//     paper's Intel-vs-AMD single-stream gap),
+//   - a kernel stack-efficiency factor (the 5.15 -> 6.5 -> 6.8 gains),
+//   - placement penalties (irqbalance / wrong NUMA node),
+//   - a virtualization factor (bare metal vs tuned/untuned VM),
+//   - a cache-pressure multiplier that inflates per-byte sender costs when
+//     the in-flight window exceeds the flow's effective L3 window (why WAN
+//     default sends are sender-CPU-bound while LAN sends are not).
+//
+// Calibration anchors (see DESIGN.md §3 and harness/calibration.hpp):
+// Intel 6.8 LAN default 55 Gbps RX-bound, AMD 42 Gbps; Intel WAN default
+// ~37 Gbps TX-bound, AMD ~23 Gbps; zerocopy sender ~0.19 cyc/B vs ~0.45
+// copy path; BIG TCP +16% when RX-aggregate-bound.
+#pragma once
+
+#include "dtnsim/cpu/affinity.hpp"
+#include "dtnsim/cpu/spec.hpp"
+
+namespace dtnsim::cpu {
+
+struct CostModelOptions {
+  double stack_factor = 1.0;   // kernel-version efficiency (1.0 = Linux 6.8)
+  bool iommu_passthrough = true;
+  PlacementQuality placement;  // defaults to the tuned placement
+  double virt_factor = 1.0;    // 1.0 bare metal; >1 inside a VM
+};
+
+struct TxPathConfig {
+  double gso_bytes = 65536.0;        // effective super-packet size
+  double mtu_bytes = 9000.0;
+  double zc_fraction = 0.0;          // payload fraction sent zerocopy
+  double zc_fallback_fraction = 0.0; // attempted zerocopy, copied instead
+  double cache_mult = 1.0;           // from cache_pressure_mult()
+};
+
+struct RxPathConfig {
+  double gro_bytes = 65536.0;  // aggregate size delivered per recv
+  double mtu_bytes = 9000.0;
+  bool copy_to_user = true;    // false under --skip-rx-copy (MSG_TRUNC)
+  bool hw_gro = false;         // ConnectX-7 SHAMPO offload (Linux 6.11+)
+};
+
+class CostModel {
+ public:
+  CostModel(const CpuSpec& spec, const CostModelOptions& opts);
+
+  // Sender-side cycles per payload byte on the app core (copy/pin, protocol,
+  // per-super-packet amortized costs, zerocopy completions).
+  double tx_app_cyc_per_byte(const TxPathConfig& cfg) const;
+  // Sender-side cycles per payload byte on the IRQ cores (segmentation
+  // residue, DMA mapping, TX completions).
+  double tx_irq_cyc_per_byte(const TxPathConfig& cfg) const;
+  // Memory-bus bytes moved per payload byte on the sender.
+  double tx_mem_passes(const TxPathConfig& cfg) const;
+
+  double rx_app_cyc_per_byte(const RxPathConfig& cfg) const;
+  double rx_irq_cyc_per_byte(const RxPathConfig& cfg) const;
+  double rx_mem_passes(const RxPathConfig& cfg) const;
+
+  // Multiplier (>= 1) applied to sender per-byte copy costs as the in-flight
+  // window outgrows the flow's effective L3 window.
+  double cache_pressure_mult(double inflight_bytes) const;
+
+  // Host-wide DMA throughput ceiling in bits/s; infinite under iommu=pt.
+  // Without passthrough, IOTLB pressure and mapping-lock contention cap
+  // aggregate DMA (the paper's 80 -> 181 Gbps iommu=pt observation).
+  double dma_throughput_cap_bps() const;
+
+  const CpuSpec& spec() const { return spec_; }
+  const CostModelOptions& options() const { return opts_; }
+
+  // Raw constants (exposed for tests and docs).
+  double copy_tx_cyc_per_byte() const { return copy_tx_; }
+  double copy_rx_cyc_per_byte() const { return copy_rx_; }
+  double zc_pin_cyc_per_page() const { return zc_pin_per_page_; }
+
+ private:
+  double scaled(double cycles) const;  // stack_factor * virt_factor applied
+
+  CpuSpec spec_;
+  CostModelOptions opts_;
+
+  // Vendor-dependent per-byte costs (cycles/byte, unscaled).
+  double copy_tx_ = 0.33;
+  double copy_rx_ = 0.39;
+  double zc_pin_per_page_ = 230.0;
+  double cache_sat_ = 1.15;
+};
+
+}  // namespace dtnsim::cpu

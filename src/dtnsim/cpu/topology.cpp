@@ -1,0 +1,30 @@
+#include "dtnsim/cpu/topology.hpp"
+
+namespace dtnsim::cpu {
+
+Topology::Topology(const CpuSpec& spec) : spec_(spec) {
+  cores_.reserve(static_cast<std::size_t>(spec.total_cores()));
+  const int numa_per_socket = spec.numa_nodes / spec.sockets > 0 ? spec.numa_nodes / spec.sockets : 1;
+  for (int s = 0; s < spec.sockets; ++s) {
+    for (int c = 0; c < spec.cores_per_socket; ++c) {
+      const int id = s * spec.cores_per_socket + c;
+      // Cores within a socket split evenly across that socket's NUMA nodes.
+      const int local_node = (c * numa_per_socket) / spec.cores_per_socket;
+      cores_.push_back(Core{id, s, s * numa_per_socket + local_node});
+    }
+  }
+}
+
+std::vector<int> Topology::cores_on_numa(int numa_node) const {
+  std::vector<int> out;
+  for (const auto& c : cores_) {
+    if (c.numa_node == numa_node) out.push_back(c.id);
+  }
+  return out;
+}
+
+bool Topology::same_numa(int core_a, int core_b) const {
+  return core(core_a).numa_node == core(core_b).numa_node;
+}
+
+}  // namespace dtnsim::cpu

@@ -1,0 +1,37 @@
+// Core/NUMA topology derived from a CpuSpec.
+//
+// Core ids are laid out socket-major (socket 0 holds cores
+// [0, cores_per_socket)), matching how the paper's hosts enumerate cores and
+// how `set_irq_affinity_cpulist.sh 0-7` / `numactl -C 8-15` select them.
+#pragma once
+
+#include <vector>
+
+#include "dtnsim/cpu/spec.hpp"
+
+namespace dtnsim::cpu {
+
+struct Core {
+  int id = 0;
+  int socket = 0;
+  int numa_node = 0;
+};
+
+class Topology {
+ public:
+  explicit Topology(const CpuSpec& spec);
+
+  const CpuSpec& spec() const { return spec_; }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  const Core& core(int id) const { return cores_.at(static_cast<std::size_t>(id)); }
+  const std::vector<Core>& cores() const { return cores_; }
+
+  std::vector<int> cores_on_numa(int numa_node) const;
+  bool same_numa(int core_a, int core_b) const;
+
+ private:
+  CpuSpec spec_;
+  std::vector<Core> cores_;
+};
+
+}  // namespace dtnsim::cpu

@@ -1,0 +1,186 @@
+#include "dtnsim/flow/packet_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dtnsim/kern/gro.hpp"
+#include "dtnsim/kern/gso.hpp"
+#include "dtnsim/net/nic.hpp"
+#include "dtnsim/net/qdisc.hpp"
+#include "dtnsim/sim/engine.hpp"
+
+namespace dtnsim::flow {
+namespace {
+
+struct SimState {
+  const PacketSimConfig* cfg = nullptr;
+  sim::Engine engine;
+  net::FqQdisc* qdisc = nullptr;
+  kern::GroEngine* gro = nullptr;
+
+  // Geometry / rates.
+  double gso_bytes = 0.0;
+  double mss = 0.0;
+  double seg_payload = 0.0;   // gso_bytes split evenly over its segments
+  Nanos half_rtt = 0;
+  Nanos tx_prep_ns = 0;       // sender CPU time per super-packet
+  Nanos rx_segment_ns = 0;    // receiver CPU time per wire segment
+  int ring_capacity = 0;
+
+  // Mutable state.
+  double inflight = 0.0;
+  Nanos tx_free_at = 0;       // sender core busy until
+  int ring_used = 0;
+  bool napi_busy = false;
+  Nanos last_departure = -1;
+
+  // Results.
+  PacketSimResult res;
+  RunningStats gaps;
+  double aggregate_bytes_total = 0.0;
+};
+
+void try_send(SimState& s);
+
+void on_ack(SimState& s, double bytes) {
+  s.inflight = std::max(s.inflight - bytes, 0.0);
+  try_send(s);
+}
+
+void deliver_aggregate(SimState& s, double agg) {
+  s.res.aggregates += 1;
+  s.aggregate_bytes_total += agg;
+  s.res.delivered_bytes += agg;
+  s.engine.schedule(s.half_rtt, [&s, agg] { on_ack(s, agg); });
+}
+
+// NAPI: grab up to `budget` descriptors, spend real CPU time processing
+// them, then free the descriptors and re-arm. Arrivals during processing
+// pile into the ring — and overrun it when the drain cannot keep up, which
+// is precisely the burst-drop mechanism the fluid model abstracts.
+void napi_poll(SimState& s) {
+  if (s.napi_busy) return;
+  if (s.ring_used <= 0) {
+    if (auto tail = s.gro->flush()) deliver_aggregate(s, *tail);  // NAPI exit
+    return;
+  }
+  s.napi_busy = true;
+  const int take = std::min(s.ring_used, s.cfg->napi_budget);
+  const Nanos spent =
+      std::max<Nanos>(static_cast<Nanos>(take) * s.rx_segment_ns, 1);
+  s.engine.schedule(spent, [&s, take] {
+    for (int i = 0; i < take; ++i) {
+      if (auto agg = s.gro->add_segment(s.seg_payload)) deliver_aggregate(s, *agg);
+    }
+    s.ring_used -= take;
+    s.napi_busy = false;
+    napi_poll(s);  // re-arm: drain the backlog or flush the GRO tail
+  });
+}
+
+void on_arrival(SimState& s, int segments) {
+  for (int i = 0; i < segments; ++i) {
+    if (s.ring_used >= s.ring_capacity) {
+      s.res.segments_dropped += 1;  // ring overrun: the NIC has nowhere to DMA
+      continue;
+    }
+    s.ring_used += 1;
+  }
+  s.res.ring_peak = std::max(s.res.ring_peak, s.ring_used);
+  if (!s.napi_busy && s.ring_used > 0) {
+    s.engine.schedule(1, [&s] { napi_poll(s); });
+  }
+}
+
+void try_send(SimState& s) {
+  while (s.inflight + s.gso_bytes <= s.cfg->window_bytes) {
+    if (s.engine.now() >= s.cfg->duration) return;
+    // Sender core serializes super-packet preparation.
+    const Nanos ready = std::max(s.engine.now(), s.tx_free_at);
+    if (ready > s.engine.now()) {
+      s.engine.schedule_at(ready, [&s] { try_send(s); });
+      return;
+    }
+    s.tx_free_at = s.engine.now() + s.tx_prep_ns;
+
+    const Nanos depart = s.qdisc->enqueue(/*flow=*/1, s.gso_bytes, s.engine.now());
+    if (s.last_departure >= 0) {
+      s.gaps.add(static_cast<double>(depart - s.last_departure));
+    }
+    s.last_departure = depart;
+
+    s.inflight += s.gso_bytes;
+    s.res.superpackets_sent += 1;
+    const int segments = static_cast<int>(std::ceil(s.gso_bytes / s.mss));
+    s.res.segments_sent += static_cast<std::uint64_t>(segments);
+    s.engine.schedule_at(depart + s.half_rtt, [&s, segments] { on_arrival(s, segments); });
+
+    if (s.tx_prep_ns > 0) {
+      // Come back when the core is free; avoids unbounded same-time loops.
+      s.engine.schedule_at(s.tx_free_at, [&s] { try_send(s); });
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
+  SimState s;
+  s.cfg = &cfg;
+
+  const host::Host sender(cfg.sender);
+  const host::Host receiver(cfg.receiver);
+  const auto snd_caps = sender.skb_caps();
+  const auto rcv_caps = receiver.skb_caps();
+  const double mtu = std::min(cfg.sender.tuning.mtu_bytes, cfg.receiver.tuning.mtu_bytes);
+
+  s.gso_bytes = kern::effective_gso_bytes(snd_caps, cfg.zerocopy, mtu);
+  s.mss = std::max(mtu - 40.0, 536.0);
+  s.seg_payload = s.gso_bytes / std::ceil(s.gso_bytes / s.mss);
+  s.half_rtt = cfg.path.rtt / 2;
+  s.ring_capacity = std::clamp(cfg.receiver.tuning.ring_descriptors, 64,
+                               cfg.receiver.nic.max_ring_descriptors);
+
+  // CPU service times from the cost models.
+  const auto snd_cost = sender.make_cost_model(cpu::PlacementQuality{});
+  const auto rcv_cost = receiver.make_cost_model(cpu::PlacementQuality{});
+  cpu::TxPathConfig txc;
+  txc.gso_bytes = s.gso_bytes;
+  txc.mtu_bytes = mtu;
+  txc.zc_fraction = cfg.zerocopy ? 1.0 : 0.0;
+  s.tx_prep_ns = static_cast<Nanos>(snd_cost.tx_app_cyc_per_byte(txc) * s.gso_bytes /
+                                    sender.app_core_hz() * 1e9);
+  cpu::RxPathConfig rxc;
+  rxc.gro_bytes = kern::effective_gro_bytes(rcv_caps, mtu);
+  rxc.mtu_bytes = mtu;
+  if (cfg.rx_segment_ns_override > 0) {
+    s.rx_segment_ns = static_cast<Nanos>(cfg.rx_segment_ns_override);
+  } else {
+    s.rx_segment_ns = static_cast<Nanos>(rcv_cost.rx_app_cyc_per_byte(rxc) * s.mss /
+                                         receiver.app_core_hz() * 1e9);
+  }
+
+  net::FqQdisc qdisc(cfg.sender.nic.line_rate_bps);
+  if (cfg.pacing_bps > 0 &&
+      cfg.sender.tuning.sysctl.default_qdisc == kern::QdiscKind::Fq) {
+    qdisc.set_flow_rate(1, cfg.pacing_bps);
+  }
+  s.qdisc = &qdisc;
+  kern::GroEngine gro(rcv_caps, mtu);
+  s.gro = &gro;
+
+  s.engine.schedule(0, [&s] { try_send(s); });
+  s.engine.run_until(cfg.duration + cfg.path.rtt * 2);
+
+  s.res.achieved_bps =
+      units::rate_of(s.res.delivered_bytes, units::to_seconds(cfg.duration));
+  s.res.mean_aggregate_bytes =
+      s.res.aggregates > 0 ? s.aggregate_bytes_total / static_cast<double>(s.res.aggregates)
+                           : 0.0;
+  s.res.interdeparture_mean_ns = s.gaps.mean();
+  s.res.interdeparture_stddev_ns = s.gaps.stddev();
+  return s.res;
+}
+
+}  // namespace dtnsim::flow

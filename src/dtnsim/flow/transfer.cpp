@@ -1,0 +1,442 @@
+#include "dtnsim/flow/transfer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dtnsim/kern/gro.hpp"
+#include "dtnsim/kern/gso.hpp"
+#include "dtnsim/sim/engine.hpp"
+
+namespace dtnsim::flow {
+namespace {
+
+// Fluid tick floor: LAN RTTs below this are clocked at 200 us rounds.
+constexpr double kMinTickSec = 200e-6;
+// Multiplicative jitter persistence (OU-like) and magnitudes. Unpaced flows
+// contend chaotically (paper: 5-30 Gbps per-flow spread); paced flows are
+// nearly uniform.
+constexpr double kJitterRho = 0.9;
+constexpr double kJitterSigmaUnpaced = 0.30;
+constexpr double kJitterSigmaPaced = 0.045;
+
+double scale_factor(double need, double budget) {
+  if (need <= 0) return 1.0;
+  return std::clamp(budget / need, 0.0, 1.0);
+}
+
+}  // namespace
+
+TransferSimulation::TransferSimulation(TransferConfig cfg)
+    : cfg_(std::move(cfg)),
+      sender_(cfg_.sender),
+      receiver_(cfg_.receiver),
+      path_(cfg_.path),
+      rng_(cfg_.seed) {
+  const int n = std::max(cfg_.streams, 1);
+  snd_quality_ = cpu::assess_placement(sender_.topology(), sender_.sample_placement(n, rng_));
+  rcv_quality_ =
+      cpu::assess_placement(receiver_.topology(), receiver_.sample_placement(n, rng_));
+  snd_cost_ = std::make_unique<cpu::CostModel>(sender_.make_cost_model(snd_quality_));
+  rcv_cost_ = std::make_unique<cpu::CostModel>(receiver_.make_cost_model(rcv_quality_));
+
+  // Run-to-run variation from page placement / cache luck — the whiskers on
+  // every plot in the paper.
+  run_efficiency_ = rng_.lognormal(1.0, 0.035);
+
+  flows_.resize(static_cast<std::size_t>(n));
+  const double bias_sigma =
+      n > 1 ? (cfg_.flow.fq_rate_bps > 0.0 ? 0.06 : 0.16) : 0.0;
+  for (auto& f : flows_) {
+    f.cc = tcp::make_congestion_control(cfg_.flow.congestion, mss());
+    f.zc_socket = kern::ZcTxSocket(cfg_.sender.tuning.sysctl.optmem_max);
+    f.static_bias = bias_sigma > 0 ? rng_.lognormal(1.0, bias_sigma) : 1.0;
+  }
+}
+
+double TransferSimulation::mss() const {
+  return std::max(cfg_.sender.tuning.mtu_bytes - 40.0, 536.0);
+}
+
+void TransferSimulation::update_jitter(FlowState& f) {
+  const bool paced = cfg_.flow.fq_rate_bps > 0.0;
+  double sigma = paced ? kJitterSigmaPaced : kJitterSigmaUnpaced;
+  // A lone flow still sees scheduler/cache noise, just far less contention.
+  if (flows_.size() == 1) sigma = 0.03;
+  // Contention on the path widens the spread even for paced flows.
+  sigma *= 1.0 + 4.0 * last_trim_frac_;
+  const double target = rng_.lognormal(f.static_bias, sigma);
+  f.share_jitter = f.share_jitter * kJitterRho + target * (1.0 - kJitterRho);
+}
+
+TransferResult TransferSimulation::run() {
+  sim::Engine engine;
+  const double rtt = std::max(path_.spec().rtt_sec(), 1e-6);
+  const double dt = std::max(rtt, kMinTickSec);
+  const Nanos tick_ns = std::max<Nanos>(static_cast<Nanos>(dt * 1e9), 1);
+
+  // Self-rescheduling round tick on the event engine.
+  std::function<void()> round = [&] {
+    const double now_sec = units::to_seconds(engine.now());
+    tick(dt, now_sec);
+    if (engine.now() + tick_ns <= cfg_.duration) {
+      engine.schedule(tick_ns, round);
+    }
+  };
+  engine.schedule(tick_ns, round);
+  engine.run();
+
+  // Flush the trailing partial interval (tick quantization drift).
+  if (interval_elapsed_ > 0.5) {
+    interval_bps_.push_back(units::rate_of(interval_accum_bytes_, interval_elapsed_));
+    interval_accum_bytes_ = 0.0;
+    interval_elapsed_ = 0.0;
+  }
+
+  TransferResult res;
+  res.duration_sec = units::to_seconds(cfg_.duration);
+  res.throughput_bps = units::rate_of(total_delivered_, res.duration_sec);
+  for (const auto& f : flows_) {
+    res.per_flow_bps.push_back(units::rate_of(f.delivered_bytes, res.duration_sec));
+  }
+  res.retransmit_segments = total_retx_;
+  res.sender_cpu.app_util = snd_app_util_.mean();
+  res.sender_cpu.irq_util = snd_irq_util_.mean();
+  res.sender_cpu.cores_pct =
+      100.0 * (snd_app_util_.mean() + snd_irq_util_.mean() *
+                                          static_cast<double>(sender_.irq_core_count()));
+  res.receiver_cpu.app_util = rcv_app_util_.mean();
+  res.receiver_cpu.irq_util = rcv_irq_util_.mean();
+  res.receiver_cpu.cores_pct =
+      100.0 * (rcv_app_util_.mean() + rcv_irq_util_.mean() *
+                                          static_cast<double>(receiver_.irq_core_count()));
+  for (const auto& f : flows_) {
+    res.zc_bytes += f.zc_socket.total_zc_bytes();
+    res.zc_fallback_bytes += f.zc_socket.total_fallback_bytes();
+  }
+  res.interval_bps = interval_bps_;
+  res.dropped_bytes_nic = dropped_nic_;
+  res.dropped_bytes_path = dropped_path_;
+  res.pause_frames_seen = pause_seen_;
+  return res;
+}
+
+void TransferSimulation::tick(double dt_sec, double now_sec) {
+  const double rtt = std::max(path_.spec().rtt_sec(), 1e-6);
+  const bool zc_req = cfg_.flow.zerocopy && sender_.zerocopy_available();
+  const bool qdisc_can_pace =
+      cfg_.sender.tuning.sysctl.default_qdisc == kern::QdiscKind::Fq;
+  const double fq_rate = qdisc_can_pace ? cfg_.flow.fq_rate_bps : 0.0;
+
+  const auto snd_caps = sender_.skb_caps();
+  const auto rcv_caps = receiver_.skb_caps();
+  const double mtu =
+      std::min(cfg_.sender.tuning.mtu_bytes, cfg_.receiver.tuning.mtu_bytes);
+  const double gso = kern::effective_gso_bytes(snd_caps, zc_req, mtu);
+  const double gro = kern::effective_gro_bytes(rcv_caps, mtu);
+
+  const double snd_wnd_max = cfg_.sender.tuning.sysctl.max_send_window_bytes();
+  const double rcv_wnd_max = cfg_.receiver.tuning.sysctl.max_recv_window_bytes();
+
+  const double eff = run_efficiency_;
+  const double snd_app_budget = sender_.app_core_hz() * dt_sec * eff;  // per flow
+  const double rcv_app_budget = receiver_.app_core_hz() * dt_sec * eff;
+  const double snd_irq_budget = sender_.app_core_hz() *
+                                static_cast<double>(sender_.irq_core_count()) * dt_sec * eff;
+  const double rcv_irq_budget = receiver_.app_core_hz() *
+                                static_cast<double>(receiver_.irq_core_count()) * dt_sec * eff;
+  const double snd_mem_budget = sender_.stack_mem_bw_bytes() * dt_sec * eff;
+  const double rcv_mem_budget = receiver_.stack_mem_bw_bytes() * dt_sec * eff;
+  const double line_bytes = sender_.config().nic.line_rate_bps * dt_sec / 8.0;
+  const double snd_dma_bytes = sender_.dma_cap_bps() * dt_sec / 8.0;
+  const double rcv_dma_bytes = receiver_.dma_cap_bps() * dt_sec / 8.0;
+
+  // ---- Sender: plan each flow -------------------------------------------
+  double snd_app_used = 0.0;
+  for (auto& f : flows_) {
+    update_jitter(f);
+
+    const double rwnd = std::max(rcv_wnd_max - f.rcv_backlog_bytes, 0.0);
+    const double wnd = std::min({f.cc->cwnd_bytes(), rwnd, snd_wnd_max});
+    double desired = wnd * dt_sec / rtt;
+
+    double pace = fq_rate;
+    const double cc_pace = f.cc->pacing_rate_bps();
+    if (cc_pace > 0.0) pace = pace > 0.0 ? std::min(pace, cc_pace) : cc_pace;
+    if (pace > 0.0) desired = std::min(desired, pace * dt_sec / 8.0);
+
+    // Zerocopy split (preview only; commitment happens after global caps).
+    double zc_frac = 0.0, fb_frac = 0.0;
+    if (zc_req && desired > 0) {
+      const auto plan = f.zc_socket.preview_send(desired, gso);
+      zc_frac = (plan.zc_bytes + plan.fallback_bytes) / desired;
+      fb_frac = plan.fallback_bytes / desired;
+    }
+
+    cpu::TxPathConfig txc;
+    txc.gso_bytes = gso;
+    txc.mtu_bytes = mtu;
+    txc.zc_fraction = zc_frac;
+    txc.zc_fallback_fraction = fb_frac;
+    // In-flight data over one RTT is what thrashes the L3; the previous
+    // round's sent volume is the sustained estimate (the window cap can be
+    // far larger than what is actually outstanding).
+    txc.cache_mult = snd_cost_->cache_pressure_mult(
+        std::min(f.prev_sent_bytes * rtt / dt_sec, wnd));
+    f.tx_app_cyc_per_byte = snd_cost_->tx_app_cyc_per_byte(txc);
+
+    const double cpu_cap = snd_app_budget * f.share_jitter /
+                           std::max(f.tx_app_cyc_per_byte, 1e-9);
+    f.planned_bytes = std::min(desired, cpu_cap);
+  }
+
+  // ---- Sender: shared resource scaling ----------------------------------
+  cpu::TxPathConfig irq_cfg;  // per-byte IRQ cost is geometry-only
+  irq_cfg.gso_bytes = gso;
+  irq_cfg.mtu_bytes = mtu;
+  const double tx_irq_pb = snd_cost_->tx_irq_cyc_per_byte(irq_cfg);
+
+  double total_planned = 0.0, total_irq_need = 0.0, total_mem_need = 0.0;
+  for (auto& f : flows_) {
+    total_planned += f.planned_bytes;
+    total_irq_need += f.planned_bytes * tx_irq_pb;
+    cpu::TxPathConfig mc = irq_cfg;
+    mc.zc_fraction = zc_req ? 1.0 : 0.0;  // approximate: zc flows mostly zc
+    total_mem_need += f.planned_bytes * snd_cost_->tx_mem_passes(mc);
+  }
+  double s = scale_factor(total_irq_need, snd_irq_budget);
+  s = std::min(s, scale_factor(total_planned, line_bytes));
+  s = std::min(s, scale_factor(total_planned, snd_dma_bytes));
+  s = std::min(s, scale_factor(total_mem_need, snd_mem_budget));
+
+  double snd_irq_used = 0.0;
+  const bool paced_traffic = fq_rate > 0.0 || flows_[0].cc->self_paced();
+  double group_sent = 0.0;
+  for (auto& f : flows_) {
+    f.sent_bytes = f.planned_bytes * s;
+    if (zc_req && f.sent_bytes > 0) {
+      const auto plan = f.zc_socket.plan_send(f.sent_bytes, gso);
+      f.zc_planned = plan.zc_bytes;
+      f.fb_planned = plan.fallback_bytes;
+    } else {
+      f.zc_planned = f.fb_planned = 0.0;
+    }
+    f.inflight_bytes = f.sent_bytes;
+    snd_app_used += f.sent_bytes * f.tx_app_cyc_per_byte;
+    snd_irq_used += f.sent_bytes * tx_irq_pb;
+    group_sent += f.sent_bytes;
+  }
+
+  // ---- Path transit (aggregate) ------------------------------------------
+  const double smoothness = !paced_traffic ? 1.0 : (zc_req ? 1.25 : 1.08);
+  const auto transit = path_.transit(group_sent, dt_sec, paced_traffic, smoothness, rng_);
+  dropped_path_ += transit.dropped_bytes;
+  const double path_trim_frac =
+      group_sent > 0 ? (group_sent - transit.delivered_bytes) / group_sent : 0.0;
+  if (path_trim_frac > 0.0 && flows_.size() > 1) {
+    // Contended path: flows do not share the trimmed capacity evenly —
+    // per-flow shares follow the jitter weights (Table III's 9-16 Gbps
+    // unpaced range; 10-13 even when paced to 15).
+    double wsum = 0.0;
+    for (const auto& f : flows_) wsum += f.sent_bytes * f.share_jitter;
+    double leftover = 0.0;
+    for (auto& f : flows_) {
+      const double want =
+          wsum > 0 ? transit.delivered_bytes * f.sent_bytes * f.share_jitter / wsum : 0.0;
+      f.arrived_bytes = std::min(want, f.sent_bytes);
+      leftover += want - f.arrived_bytes;
+      f.lost_bytes = 0.0;
+    }
+    // Capacity a capped flow could not use flows to the others.
+    for (auto& f : flows_) {
+      if (leftover <= 0) break;
+      const double headroom = f.sent_bytes - f.arrived_bytes;
+      const double take = std::min(headroom, leftover);
+      f.arrived_bytes += take;
+      leftover -= take;
+    }
+  } else {
+    for (auto& f : flows_) {
+      f.arrived_bytes = f.sent_bytes * (1.0 - path_trim_frac);
+      f.lost_bytes = 0.0;
+    }
+  }
+  last_trim_frac_ = path_trim_frac;
+  if (transit.dropped_bytes > 0) {
+    if (paced_traffic || flows_.size() == 1) {
+      // Symmetric flows absorb path drops proportionally.
+      for (auto& f : flows_) {
+        f.lost_bytes += group_sent > 0
+                            ? transit.dropped_bytes * f.sent_bytes / group_sent
+                            : 0.0;
+      }
+    } else {
+      // Unpaced flows collide asynchronously: a random subset bears each
+      // round's loss (weighted by instantaneous share), which desynchronizes
+      // the backoffs — the paper's 5-30 Gbps per-flow spread and "flows
+      // interfere with each other" behaviour.
+      double remaining = transit.dropped_bytes;
+      const int victims =
+          1 + static_cast<int>(rng_.uniform_int(0, std::min<std::int64_t>(
+                                                       2, static_cast<std::int64_t>(
+                                                              flows_.size()) -
+                                                           1)));
+      for (int v = 0; v < victims && remaining > 0; ++v) {
+        auto& f = flows_[static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(flows_.size()) - 1))];
+        const double take = std::min(remaining / static_cast<double>(victims - v),
+                                     f.sent_bytes * 0.8 - f.lost_bytes);
+        if (take > 0) {
+          f.lost_bytes += take;
+          remaining -= take;
+        }
+      }
+      // Whatever victims could not absorb spreads proportionally.
+      if (remaining > 1.0 && group_sent > 0) {
+        for (auto& f : flows_) {
+          f.lost_bytes += remaining * f.sent_bytes / group_sent;
+        }
+      }
+    }
+  }
+
+  // ---- Receiver NIC per flow ---------------------------------------------
+  net::NicSpec rx_nic = cfg_.receiver.nic;
+  if (receiver_.hw_gro_active()) {
+    // SHAMPO merges in hardware and splits headers from data: the NIC-to-
+    // kernel drain path survives far denser trains.
+    rx_nic.drain_burst_bps *= 1.6;
+    rx_nic.drain_smooth_bps *= 1.3;
+  }
+  net::NicRx nic_rx(rx_nic, cfg_.receiver.tuning.ring_descriptors, mtu,
+                    cfg_.link_flow_control);
+  cpu::RxPathConfig rxc;
+  rxc.gro_bytes = gro;
+  rxc.mtu_bytes = mtu;
+  rxc.copy_to_user = !cfg_.flow.skip_rx_copy;
+  rxc.hw_gro = receiver_.hw_gro_active();
+  const double rx_app_pb = rcv_cost_->rx_app_cyc_per_byte(rxc);
+  const double rx_irq_pb = rcv_cost_->rx_irq_cyc_per_byte(rxc);
+  const double rx_mem_passes = rcv_cost_->rx_mem_passes(rxc);
+
+  double total_accepted = 0.0;
+  for (auto& f : flows_) {
+    net::RxArrival arr;
+    arr.bytes = f.arrived_bytes;
+    arr.paced = paced_traffic;
+    const auto verdict = nic_rx.process(arr, dt_sec, rtt);
+    dropped_nic_ += verdict.dropped_bytes;
+    pause_seen_ = pause_seen_ || verdict.pause_frames_sent;
+    f.lost_bytes += verdict.dropped_bytes;
+    if (verdict.pause_frames_sent) {
+      // 802.3x backpressure: the excess never entered the host; for window
+      // accounting it behaves like un-sent data, not a loss.
+      f.inflight_bytes -= f.arrived_bytes - verdict.accepted_bytes;
+    }
+    f.arrived_bytes = verdict.accepted_bytes;
+    total_accepted += f.arrived_bytes;
+  }
+
+  // Receiver-side host limits: IRQ cycles, DMA, memory bandwidth. TCP flow
+  // control (rwnd) turns sustained overload into backpressure — the sender
+  // slows — but transient overshoot occasionally overruns the ring and
+  // drops for real (a rare stochastic event, not a per-tick certainty).
+  const double rx_host_cap =
+      std::min({rcv_irq_budget / std::max(rx_irq_pb, 1e-12), rcv_dma_bytes,
+                rcv_mem_budget / std::max(rx_mem_passes, 1e-9)});
+  if (total_accepted > rx_host_cap && total_accepted > 0) {
+    const double overload = total_accepted / rx_host_cap;
+    const double keep = rx_host_cap / total_accepted;
+    for (auto& f : flows_) {
+      const double cut = f.arrived_bytes * (1.0 - keep);
+      f.arrived_bytes -= cut;
+      f.inflight_bytes -= cut;
+    }
+    total_accepted = rx_host_cap;
+    if (cfg_.link_flow_control) {
+      pause_seen_ = true;
+    } else if (rng_.bernoulli(std::min((overload - 1.0) * dt_sec, 0.5))) {
+      // Transient ring overrun: one flow eats a modest burst loss.
+      auto& victim = flows_[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(flows_.size()) - 1))];
+      const double burst = std::min(victim.arrived_bytes, 40.0 * mtu);
+      victim.lost_bytes += burst;
+      dropped_nic_ += burst;
+    }
+  }
+
+  // ---- Receiver app drain --------------------------------------------------
+  double rcv_app_used = 0.0;
+  double interval_bytes_this_tick = 0.0;
+  for (auto& f : flows_) {
+    const double cap = rcv_app_budget / std::max(rx_app_pb, 1e-9);
+    const double drain = std::min(f.rcv_backlog_bytes + f.arrived_bytes, cap);
+    f.rcv_backlog_bytes = std::max(f.rcv_backlog_bytes + f.arrived_bytes - drain, 0.0);
+    f.delivered_bytes += drain;
+    interval_bytes_this_tick += drain;
+    rcv_app_used += drain * rx_app_pb;
+  }
+  total_delivered_ += interval_bytes_this_tick;
+
+  // ---- ACK / loss feedback ------------------------------------------------
+  for (auto& f : flows_) {
+    const double acked = f.arrived_bytes;
+    const double lost = f.lost_bytes;
+    if (lost > 0.5 * mss()) {
+      f.retransmit_segments += lost / mss();
+      total_retx_ += lost / mss();
+      // Small loss bursts recover through limited transmit / PRR without a
+      // multiplicative decrease; only substantial loss events (more than a
+      // NAPI batch worth of segments AND a visible share of the round)
+      // collapse the window. Without this, a stray 60-segment loss would
+      // re-collapse a small window faster than CUBIC can rebuild it — a
+      // death spiral real TCP does not exhibit.
+      const double md_floor =
+          32.0 * mss() * std::clamp(dt_sec / 0.063, 0.01, 1.0);
+      if (lost > std::max(md_floor, 0.0025 * f.sent_bytes)) {
+        f.cc->on_loss(now_sec, lost);
+      }
+    }
+    if (acked > 0) {
+      // Congestion-window validation (RFC 7661): a pace-limited flow does
+      // not inflate cwnd past ~2x the window it actually uses. This is why
+      // paced production flows shrug off stray losses (Table III: paced to
+      // 10G, every flow delivers exactly 10G despite ~1K retransmits).
+      const bool cwnd_validated =
+          fq_rate > 0.0 && !f.cc->self_paced() &&
+          f.cc->cwnd_bytes() > 2.0 * fq_rate * rtt / 8.0;
+      if (!cwnd_validated) f.cc->on_ack(now_sec, acked, rtt);
+      f.zc_socket.on_acked(acked);
+      f.rtt.add_sample(rtt);
+    }
+    f.inflight_bytes = 0.0;  // round model: everything resolves within a tick
+    // EWMA keeps the cache-pressure feedback loop from oscillating.
+    f.prev_sent_bytes = 0.7 * f.prev_sent_bytes + 0.3 * f.sent_bytes;
+    f.lost_bytes = 0.0;
+  }
+
+  // ---- Utilization bookkeeping -------------------------------------------
+  // Jitter lets a flow momentarily exceed its nominal budget; mpstat would
+  // still read 100%, so clamp.
+  snd_app_util_.add(std::min(
+      snd_app_used / (snd_app_budget * static_cast<double>(flows_.size())), 1.0));
+  snd_irq_util_.add(std::min(snd_irq_used / snd_irq_budget, 1.0));
+  rcv_app_util_.add(std::min(
+      rcv_app_used / (rcv_app_budget * static_cast<double>(flows_.size())), 1.0));
+  rcv_irq_util_.add(std::min(total_accepted * rx_irq_pb / rcv_irq_budget, 1.0));
+
+  // ---- 1-second interval series -------------------------------------------
+  interval_accum_bytes_ += interval_bytes_this_tick;
+  interval_elapsed_ += dt_sec;
+  if (interval_elapsed_ >= 1.0) {
+    interval_bps_.push_back(units::rate_of(interval_accum_bytes_, interval_elapsed_));
+    interval_accum_bytes_ = 0.0;
+    interval_elapsed_ = 0.0;
+  }
+}
+
+TransferResult run_transfer(const TransferConfig& cfg) {
+  TransferSimulation sim(cfg);
+  return sim.run();
+}
+
+}  // namespace dtnsim::flow

@@ -1,0 +1,135 @@
+// TransferSimulation: one memory-to-memory transfer, end to end.
+//
+// This is the engine that couples every substrate. Flows are clocked in
+// RTT-sized rounds on the discrete-event engine; within a round the sender's
+// achievable bytes are the minimum of
+//   window (cwnd, receiver window, wmem) / pacing (fq-rate, BBR) /
+//   app-core CPU / IRQ-core CPU / NIC line rate / memory bandwidth / DMA cap,
+// the burst then crosses the path (background traffic, burst-tolerance
+// trimming), hits the receiver NIC (ring-overflow drops or pause frames) and
+// the receiver's CPU (socket backlog -> advertised window), and the ACK
+// feedback updates congestion control and zerocopy optmem charges.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dtnsim/host/host.hpp"
+#include "dtnsim/kern/zc_socket.hpp"
+#include "dtnsim/net/path.hpp"
+#include "dtnsim/tcp/cc.hpp"
+#include "dtnsim/tcp/rtt.hpp"
+#include "dtnsim/util/rng.hpp"
+#include "dtnsim/util/stats.hpp"
+
+namespace dtnsim::flow {
+
+struct FlowOptions {
+  bool zerocopy = false;      // iperf3 --zerocopy=z (MSG_ZEROCOPY)
+  bool skip_rx_copy = false;  // iperf3 --skip-rx-copy (MSG_TRUNC)
+  double fq_rate_bps = 0.0;   // iperf3 --fq-rate, 0 = unpaced
+  kern::CongestionAlgo congestion = kern::CongestionAlgo::Cubic;
+};
+
+struct TransferConfig {
+  host::HostConfig sender;
+  host::HostConfig receiver;
+  net::PathSpec path;
+  int streams = 1;                     // iperf3 -P
+  FlowOptions flow;
+  bool link_flow_control = false;      // IEEE 802.3x on the receiver's link
+  Nanos duration = units::seconds(60);
+  std::uint64_t seed = 1;
+};
+
+struct CpuUtilization {
+  // Fractions of one core (app) / of the IRQ pool; cores_pct is the Fig. 7/8
+  // "TX/RX Cores" metric (iperf3 + IRQ cores, in percent, can exceed 100).
+  double app_util = 0.0;
+  double irq_util = 0.0;
+  double cores_pct = 0.0;
+};
+
+struct TransferResult {
+  double duration_sec = 0.0;
+  double throughput_bps = 0.0;            // aggregate goodput
+  std::vector<double> per_flow_bps;
+  double retransmit_segments = 0.0;
+  CpuUtilization sender_cpu;
+  CpuUtilization receiver_cpu;
+  double zc_bytes = 0.0;
+  double zc_fallback_bytes = 0.0;
+  std::vector<double> interval_bps;       // 1-second interval series
+  // Diagnostics
+  double dropped_bytes_nic = 0.0;
+  double dropped_bytes_path = 0.0;
+  bool pause_frames_seen = false;
+};
+
+class TransferSimulation {
+ public:
+  explicit TransferSimulation(TransferConfig cfg);
+
+  TransferResult run();
+
+ private:
+  struct FlowState {
+    std::unique_ptr<tcp::CongestionControl> cc;
+    kern::ZcTxSocket zc_socket{0.0};
+    tcp::RttEstimator rtt;
+    double inflight_bytes = 0.0;
+    double rcv_backlog_bytes = 0.0;
+    double delivered_bytes = 0.0;
+    double retransmit_segments = 0.0;
+    double share_jitter = 1.0;
+    // Persistent per-flow bias for the run (hash placement, NUMA luck):
+    // per-flow averages differ across a whole run, not just per tick.
+    double static_bias = 1.0;
+    double interval_bytes = 0.0;
+    // Previous round's sent bytes ~= sustained in-flight data; drives the
+    // sender's cache-pressure multiplier.
+    double prev_sent_bytes = 0.0;
+    // Scratch, valid within one tick:
+    double planned_bytes = 0.0;
+    double zc_planned = 0.0;
+    double fb_planned = 0.0;
+    double tx_app_cyc_per_byte = 0.0;
+    double sent_bytes = 0.0;
+    double arrived_bytes = 0.0;
+    double lost_bytes = 0.0;
+  };
+
+  void tick(double dt_sec, double now_sec);
+  void update_jitter(FlowState& f);
+  double mss() const;
+
+  TransferConfig cfg_;
+  host::Host sender_;
+  host::Host receiver_;
+  net::Path path_;
+  Rng rng_;
+
+  std::vector<FlowState> flows_;
+  cpu::PlacementQuality snd_quality_;
+  cpu::PlacementQuality rcv_quality_;
+  std::unique_ptr<cpu::CostModel> snd_cost_;
+  std::unique_ptr<cpu::CostModel> rcv_cost_;
+
+  // Accumulated utilization (cycle-weighted across the run).
+  RunningStats snd_app_util_, snd_irq_util_, rcv_app_util_, rcv_irq_util_;
+  double total_delivered_ = 0.0;
+  double total_retx_ = 0.0;
+  double dropped_nic_ = 0.0;
+  double dropped_path_ = 0.0;
+  bool pause_seen_ = false;
+  double last_trim_frac_ = 0.0;  // path contention level, feeds jitter width
+  double run_efficiency_ = 1.0;  // per-run host efficiency (cache/NUMA luck)
+  std::vector<double> interval_bps_;
+  double interval_accum_bytes_ = 0.0;
+  double interval_elapsed_ = 0.0;
+};
+
+// Convenience one-shot runner.
+TransferResult run_transfer(const TransferConfig& cfg);
+
+}  // namespace dtnsim::flow

@@ -1,0 +1,339 @@
+#include "dtnsim/harness/experiments.hpp"
+
+#include "dtnsim/util/strfmt.hpp"
+
+namespace dtnsim::harness {
+namespace {
+
+using app::IperfOptions;
+
+IperfOptions iperf(int parallel, double pace_gbps, bool zc = false,
+                   bool skip_rx = false) {
+  IperfOptions o;
+  o.parallel = parallel;
+  o.fq_rate_bps = pace_gbps * 1e9;
+  o.zerocopy = zc;
+  o.skip_rx_copy = skip_rx;
+  return o;
+}
+
+TestSpec with_optmem(TestSpec spec, double bytes) {
+  spec.sender.tuning.sysctl.optmem_max = bytes;
+  spec.receiver.tuning.sysctl.optmem_max = bytes;
+  return spec;
+}
+
+TestSpec with_big_tcp(TestSpec spec, double bytes = 150.0 * 1024.0) {
+  for (auto* h : {&spec.sender, &spec.receiver}) {
+    h->tuning.big_tcp_enabled = true;
+    h->tuning.big_tcp_bytes = bytes;
+  }
+  return spec;
+}
+
+std::vector<TestSpec> fig4_specs() {
+  std::vector<TestSpec> out;
+  for (const bool vm : {false, true}) {
+    const auto tb = vm ? amlight_vm(kern::KernelVersion::V5_10)
+                       : amlight_baremetal(kern::KernelVersion::V5_10);
+    for (const bool zcp : {false, true}) {
+      for (const char* p : {"LAN", "WAN 25ms", "WAN 54ms", "WAN 104ms"}) {
+        auto o = iperf(1, zcp ? 50 : 0, zcp);
+        out.push_back(TestSpec::on(tb, p,
+                                   o, strfmt("%s %s %s", vm ? "vm" : "baremetal",
+                                             zcp ? "zc+pace50" : "default", p)));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TestSpec> fig5_specs() {
+  std::vector<TestSpec> out;
+  const auto tb = amlight(kern::KernelVersion::V6_8);
+  struct C {
+    const char* label;
+    bool zc;
+    double pace;
+    bool big;
+  };
+  for (const C c : {C{"default", false, 0, false}, C{"zerocopy", true, 0, false},
+                    C{"zc+pace50", true, 50, false}, C{"bigtcp150k", false, 0, true}}) {
+    for (const char* p : {"LAN", "WAN 25ms", "WAN 54ms", "WAN 104ms"}) {
+      auto spec = TestSpec::on(tb, p, iperf(1, c.pace, c.zc),
+                               strfmt("%s %s", c.label, p));
+      if (c.big) spec = with_big_tcp(spec);
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+std::vector<TestSpec> fig6_specs() {
+  std::vector<TestSpec> out;
+  const auto tb = esnet(kern::KernelVersion::V6_8);
+  struct C {
+    const char* label;
+    bool zc;
+    double pace;
+  };
+  for (const C c : {C{"default", false, 0}, C{"zerocopy", true, 0},
+                    C{"zc+pace40", true, 40}}) {
+    for (const char* p : {"LAN", "WAN 63ms"}) {
+      out.push_back(TestSpec::on(tb, p, iperf(1, c.pace, c.zc),
+                                 strfmt("%s %s", c.label, p)));
+    }
+  }
+  return out;
+}
+
+std::vector<TestSpec> fig7_specs() {
+  std::vector<TestSpec> out;
+  const auto tb = amlight(kern::KernelVersion::V6_5);
+  for (const bool zcp : {false, true}) {
+    for (const char* p : {"LAN", "WAN 25ms", "WAN 54ms", "WAN 104ms"}) {
+      auto spec = TestSpec::on(tb, p, iperf(1, zcp ? 50 : 0, zcp),
+                               strfmt("%s %s", zcp ? "zc+pace50" : "default", p));
+      if (zcp) spec = with_optmem(spec, 3405376);
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+std::vector<TestSpec> fig8_specs() {
+  std::vector<TestSpec> out;
+  const auto tb = esnet(kern::KernelVersion::V6_8);
+  for (const bool zcp : {false, true}) {
+    for (const char* p : {"LAN", "WAN 63ms"}) {
+      auto spec = TestSpec::on(tb, p, iperf(1, zcp ? 40 : 0, zcp),
+                               strfmt("%s %s", zcp ? "zc+pace40" : "default", p));
+      if (zcp) spec = with_optmem(spec, 3405376);
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+std::vector<TestSpec> fig9_specs() {
+  std::vector<TestSpec> out;
+  const auto tb = amlight(kern::KernelVersion::V6_5);
+  for (const double om : {20480.0, 1048576.0, 3405376.0}) {
+    for (const char* p : {"LAN", "WAN 25ms", "WAN 54ms", "WAN 104ms"}) {
+      out.push_back(with_optmem(
+          TestSpec::on(tb, p, iperf(1, 50, true),
+                       strfmt("optmem %.0fK %s", om / 1024.0, p)),
+          om));
+    }
+  }
+  return out;
+}
+
+std::vector<TestSpec> fig10_specs() {
+  std::vector<TestSpec> out;
+  const auto tb = esnet(kern::KernelVersion::V6_8);
+  for (const double pace : {0.0, 25.0, 20.0, 15.0}) {
+    for (const char* p : {"LAN", "WAN 63ms"}) {
+      out.push_back(TestSpec::on(tb, p, iperf(8, pace, true),
+                                 strfmt("8x zc pace%.0f %s", pace, p)));
+    }
+  }
+  return out;
+}
+
+std::vector<TestSpec> fig11_specs() {
+  std::vector<TestSpec> out;
+  const auto tb = amlight(kern::KernelVersion::V6_8);
+  struct C {
+    const char* label;
+    bool zc;
+    double pace;
+  };
+  for (const C c : {C{"default", false, 0}, C{"zc-unpaced", true, 0},
+                    C{"zc-pace10", true, 10}, C{"zc-pace9", true, 9}}) {
+    for (const char* p : {"LAN", "WAN 25ms", "WAN 54ms", "WAN 104ms"}) {
+      out.push_back(TestSpec::on(tb, p, iperf(8, c.pace, c.zc),
+                                 strfmt("%s %s", c.label, p)));
+    }
+  }
+  return out;
+}
+
+std::vector<TestSpec> table1_specs() {
+  std::vector<TestSpec> out;
+  const auto tb = esnet(kern::KernelVersion::V5_15);
+  for (const double pace : {0.0, 25.0, 20.0, 15.0}) {
+    out.push_back(TestSpec::on(tb, "LAN", iperf(8, pace),
+                               pace > 0 ? strfmt("%.0fG/stream", pace) : "unpaced"));
+  }
+  return out;
+}
+
+std::vector<TestSpec> table2_specs() {
+  std::vector<TestSpec> out;
+  const auto tb = esnet(kern::KernelVersion::V5_15);
+  for (const double pace : {0.0, 25.0, 20.0, 15.0}) {
+    out.push_back(TestSpec::on(tb, "WAN 63ms", iperf(8, pace),
+                               pace > 0 ? strfmt("%.0fG/stream", pace) : "unpaced"));
+  }
+  return out;
+}
+
+std::vector<TestSpec> table3_specs() {
+  std::vector<TestSpec> out;
+  const auto tb = esnet_production(kern::KernelVersion::V5_15);
+  for (const double pace : {0.0, 15.0, 12.0, 10.0}) {
+    out.push_back(TestSpec::on(tb, "production 63ms", iperf(8, pace),
+                               pace > 0 ? strfmt("%.0fG/stream", pace) : "unpaced"));
+  }
+  return out;
+}
+
+std::vector<TestSpec> fig12_specs() {
+  std::vector<TestSpec> out;
+  for (const auto k :
+       {kern::KernelVersion::V5_15, kern::KernelVersion::V6_5, kern::KernelVersion::V6_8}) {
+    const auto tb = esnet(k);
+    for (const char* p : {"LAN", "WAN 63ms"}) {
+      out.push_back(TestSpec::on(tb, p, iperf(1, 0),
+                                 strfmt("kernel %s %s", kern::kernel_version_name(k), p)));
+    }
+  }
+  return out;
+}
+
+std::vector<TestSpec> fig13_specs() {
+  std::vector<TestSpec> out;
+  for (const auto k :
+       {kern::KernelVersion::V5_15, kern::KernelVersion::V6_5, kern::KernelVersion::V6_8}) {
+    const auto tb = amlight(k);
+    out.push_back(TestSpec::on(tb, "LAN", iperf(1, 0),
+                               strfmt("kernel %s LAN default", kern::kernel_version_name(k))));
+    out.push_back(with_optmem(
+        TestSpec::on(tb, "WAN 25ms", iperf(1, 50, true, true),
+                     strfmt("kernel %s WAN zc+pace50", kern::kernel_version_name(k))),
+        3405376));
+  }
+  return out;
+}
+
+std::vector<TestSpec> ablation_iommu_specs() {
+  std::vector<TestSpec> out;
+  const auto tb = esnet(kern::KernelVersion::V5_15);
+  for (const bool pt : {false, true}) {
+    auto spec = TestSpec::on(tb, "LAN", iperf(8, 25, true),
+                             pt ? "iommu=pt" : "iommu strict");
+    spec.sender.tuning.iommu_passthrough = pt;
+    spec.receiver.tuning.iommu_passthrough = pt;
+    out.push_back(spec);
+  }
+  return out;
+}
+
+std::vector<TestSpec> ablation_affinity_specs() {
+  std::vector<TestSpec> out;
+  const auto tb = amlight(kern::KernelVersion::V6_8);
+  for (const bool balanced : {true, false}) {
+    auto spec = TestSpec::on(tb, "LAN", iperf(1, 0),
+                             balanced ? "irqbalance" : "pinned");
+    spec.sender.tuning.irqbalance_disabled = !balanced;
+    spec.receiver.tuning.irqbalance_disabled = !balanced;
+    spec.repeats = 24;
+    out.push_back(spec);
+  }
+  return out;
+}
+
+std::vector<TestSpec> ablation_ring_specs() {
+  std::vector<TestSpec> out;
+  for (const bool amd : {true, false}) {
+    const auto tb = amd ? esnet() : amlight();
+    const char* path = amd ? "WAN 63ms" : "WAN 54ms";
+    for (const int ring : {1024, 8192}) {
+      auto spec = TestSpec::on(tb, path, iperf(1, 0, true),
+                               strfmt("%s ring%d", amd ? "amd" : "intel", ring));
+      spec.sender.tuning.ring_descriptors = ring;
+      spec.receiver.tuning.ring_descriptors = ring;
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+std::vector<TestSpec> ablation_cc_specs() {
+  std::vector<TestSpec> out;
+  const auto tb = esnet(kern::KernelVersion::V6_8);
+  for (const auto algo : {kern::CongestionAlgo::Cubic, kern::CongestionAlgo::BbrV1,
+                          kern::CongestionAlgo::BbrV3}) {
+    for (const double pace : {0.0, 15.0}) {
+      auto o = iperf(8, pace);
+      o.congestion = algo;
+      out.push_back(TestSpec::on(tb, "WAN 63ms", o,
+                                 strfmt("%s %s", kern::congestion_name(algo),
+                                        pace > 0 ? "pace15" : "unpaced")));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<ExperimentDef>& experiment_registry() {
+  static const std::vector<ExperimentDef> registry = {
+      {"fig4", "Bare metal vs tuned VM (Intel, kernel 5.10)",
+       "VM within one stddev of bare metal on every path", fig4_specs},
+      {"fig5", "Single stream, AmLight Intel, kernel 6.8",
+       "zc alone: no gain; zc+pace50: up to +35% WAN; BIG TCP: up to +16%",
+       fig5_specs},
+      {"fig6", "Single stream, ESnet AMD, kernel 6.8",
+       "zc+pace40: ~+85% WAN, matching LAN", fig6_specs},
+      {"fig7", "CPU utilization vs latency, Intel, kernel 6.5",
+       "default: RX-bound LAN / TX-bound WAN; zc+pace: TX collapses", fig7_specs},
+      {"fig8", "CPU utilization, AMD", "same shape, higher WAN sender CPU",
+       fig8_specs},
+      {"fig9", "optmem_max sweep, Intel 6.5, zc+pace50",
+       "20K cripples WAN; 1M mostly fixes; 3.25M covers 104ms", fig9_specs},
+      {"fig10", "8 flows zc+pacing sweep, ESnet 6.8",
+       "tracks max tput; stddev smallest at 15G/flow", fig10_specs},
+      {"fig11", "8 flows, AmLight 6.8, bg traffic",
+       "baseline decays with RTT; unpaced zc suffers on busy WAN", fig11_specs},
+      {"table1", "ESnet LAN 8 flows, 5.15, no FC", "166/166/147/118 Gbps",
+       table1_specs},
+      {"table2", "ESnet WAN 8 flows, 5.15, no FC",
+       "127/136/131/115 Gbps; interference above 120G attempted", table2_specs},
+      {"table3", "Production DTNs with 802.3x, 63ms",
+       "98/98/93/79 Gbps; pacing narrows per-flow range to 10-10", table3_specs},
+      {"fig12", "Kernel versions, ESnet AMD", "+12% (6.5), +17% (6.8)", fig12_specs},
+      {"fig13", "Kernel versions, AmLight Intel",
+       "+27% LAN total; WAN pinned at the 50G pacing", fig13_specs},
+      {"ablation_iommu", "iommu=pt vs strict, 8 streams, 5.15",
+       "strict caps aggregate DMA (paper: 80 vs 181 Gbps)", ablation_iommu_specs},
+      {"ablation_affinity", "irqbalance vs pinned cores",
+       "random placement spans ~20-55 Gbps", ablation_affinity_specs},
+      {"ablation_ring", "ring 1024 vs 8192",
+       "helps AMD (burst-drain-bound), not Intel", ablation_ring_specs},
+      {"ablation_cc", "CUBIC vs BBRv1/BBRv3, 8 flows WAN",
+       "similar tput; BBR retransmits higher; pacing stabilizes BBR",
+       ablation_cc_specs},
+  };
+  return registry;
+}
+
+const ExperimentDef* find_experiment(const std::string& id) {
+  for (const auto& def : experiment_registry()) {
+    if (def.id == id) return &def;
+  }
+  return nullptr;
+}
+
+Dataset run_experiment(const ExperimentDef& def, double duration_sec, int repeats) {
+  Dataset ds(def.id);
+  for (auto spec : def.specs()) {
+    spec.iperf.duration_sec = duration_sec;
+    if (spec.repeats == 10) spec.repeats = repeats;  // keep explicit overrides
+    ds.add(run_test(spec));
+  }
+  return ds;
+}
+
+}  // namespace dtnsim::harness

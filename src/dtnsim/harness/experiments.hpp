@@ -1,0 +1,37 @@
+// Registry of the paper's experiments.
+//
+// Each entry maps a paper artifact (figure/table/ablation) to the list of
+// TestSpecs that regenerate it. The bench binaries print paper-style
+// tables; this registry drives programmatic access — `dtnsim-repro` runs
+// any subset by id and exports the raw per-repeat data as CSV/JSON (the
+// paper releases all of its collected data; so do we).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dtnsim/harness/dataset.hpp"
+#include "dtnsim/harness/runner.hpp"
+
+namespace dtnsim::harness {
+
+struct ExperimentDef {
+  std::string id;           // "fig5", "table2", "ablation_iommu", ...
+  std::string title;        // what the paper calls it
+  std::string paper_claim;  // one-line expected shape
+  std::function<std::vector<TestSpec>()> specs;
+};
+
+// All registered experiments, in paper order.
+const std::vector<ExperimentDef>& experiment_registry();
+
+// Lookup by id; nullptr if unknown.
+const ExperimentDef* find_experiment(const std::string& id);
+
+// Run one experiment (optionally overriding duration/repeats for quick
+// passes) and collect results into a Dataset named after the id.
+Dataset run_experiment(const ExperimentDef& def, double duration_sec = 60.0,
+                       int repeats = 10);
+
+}  // namespace dtnsim::harness

@@ -1,0 +1,43 @@
+// Gnuplot emitters: regenerate the paper's figures as actual plots.
+//
+// Each figure becomes a .dat (clustered columns with error bars — the
+// paper's bar-chart-with-stddev-whiskers style) plus a .gp script, so
+// `gnuplot fig5.gp` renders fig5.png with no further tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dtnsim/harness/runner.hpp"
+
+namespace dtnsim::harness {
+
+struct PlotSeries {
+  std::string label;           // legend entry, e.g. "zerocopy+pacing 50G"
+  std::vector<double> values;  // one per category
+  std::vector<double> errors;  // stddev whiskers (may be empty)
+};
+
+struct FigureSpec {
+  std::string id;      // file stem, e.g. "fig5"
+  std::string title;
+  std::string ylabel = "Throughput (Gbps)";
+  std::vector<std::string> categories;  // x groups, e.g. LAN / WAN 25ms / ...
+  std::vector<PlotSeries> series;
+};
+
+// Tab-separated: category, then value/error pairs per series.
+std::string to_gnuplot_data(const FigureSpec& fig);
+// Clustered-histogram gnuplot script referencing <id>.dat, writing <id>.png.
+std::string to_gnuplot_script(const FigureSpec& fig);
+// Writes <dir>/<id>.dat and <dir>/<id>.gp; false on I/O error.
+bool write_figure(const FigureSpec& fig, const std::string& dir);
+
+// Assemble a figure from harness results laid out row-major:
+// results[s * categories.size() + c] is series s at category c.
+FigureSpec figure_from_results(const std::string& id, const std::string& title,
+                               std::vector<std::string> categories,
+                               std::vector<std::string> series_labels,
+                               const std::vector<TestResult>& results);
+
+}  // namespace dtnsim::harness

@@ -1,0 +1,79 @@
+#include "dtnsim/harness/runner.hpp"
+
+#include <algorithm>
+
+#include "dtnsim/util/stats.hpp"
+
+namespace dtnsim::harness {
+
+TestSpec TestSpec::on(const Testbed& tb, const std::string& path_name,
+                      app::IperfOptions opts, std::string label) {
+  TestSpec s;
+  s.sender = tb.sender;
+  s.receiver = tb.receiver;
+  s.path = tb.path_named(path_name);
+  s.iperf = opts;
+  s.link_flow_control = tb.link_flow_control;
+  s.name = label.empty() ? tb.name + " " + path_name : std::move(label);
+  return s;
+}
+
+TestResult run_test(const TestSpec& spec) {
+  TestResult out;
+  out.name = spec.name;
+  out.repeats = std::max(spec.repeats, 1);
+
+  RunningStats tput, retr, snd_cpu, rcv_cpu, flow_min, flow_max, fallback;
+  Rng seeder(spec.base_seed);
+
+  flow::TransferConfig cfg;
+  cfg.sender = spec.sender;
+  cfg.receiver = spec.receiver;
+  cfg.path = spec.path;
+  cfg.streams = std::max(spec.iperf.parallel, 1);
+  cfg.flow.zerocopy = spec.iperf.zerocopy;
+  cfg.flow.skip_rx_copy = spec.iperf.skip_rx_copy;
+  cfg.flow.fq_rate_bps = spec.iperf.fq_rate_bps;
+  cfg.flow.congestion = spec.iperf.congestion;
+  cfg.link_flow_control = spec.link_flow_control;
+  cfg.duration = units::seconds(spec.iperf.duration_sec);
+
+  for (int r = 0; r < out.repeats; ++r) {
+    cfg.seed = seeder.substream(static_cast<unsigned>(r)).next();
+    const flow::TransferResult res = flow::run_transfer(cfg);
+
+    const double gbps = units::to_gbps(res.throughput_bps);
+    tput.add(gbps);
+    out.samples_gbps.push_back(gbps);
+    retr.add(res.retransmit_segments);
+    snd_cpu.add(res.sender_cpu.cores_pct);
+    rcv_cpu.add(res.receiver_cpu.cores_pct);
+    if (!res.per_flow_bps.empty()) {
+      flow_min.add(units::to_gbps(min_of(res.per_flow_bps)));
+      flow_max.add(units::to_gbps(max_of(res.per_flow_bps)));
+    }
+    const double zc_total = res.zc_bytes + res.zc_fallback_bytes;
+    fallback.add(zc_total > 0 ? res.zc_fallback_bytes / zc_total : 0.0);
+  }
+
+  out.avg_gbps = tput.mean();
+  out.min_gbps = tput.min();
+  out.max_gbps = tput.max();
+  out.stdev_gbps = tput.stddev();
+  out.avg_retransmits = retr.mean();
+  out.flow_min_gbps = flow_min.mean();
+  out.flow_max_gbps = flow_max.mean();
+  out.snd_cpu_pct = snd_cpu.mean();
+  out.rcv_cpu_pct = rcv_cpu.mean();
+  out.zc_fallback_ratio = fallback.mean();
+  return out;
+}
+
+std::vector<TestResult> run_tests(const std::vector<TestSpec>& specs) {
+  std::vector<TestResult> out;
+  out.reserve(specs.size());
+  for (const auto& s : specs) out.push_back(run_test(s));
+  return out;
+}
+
+}  // namespace dtnsim::harness

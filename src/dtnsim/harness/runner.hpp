@@ -1,0 +1,60 @@
+// Test harness: the ESnet "Network Test Harness" methodology.
+//
+// Every paper result is "60-second runs, at least 10 repeats, mpstat
+// alongside". TestSpec describes one configuration; run_test executes the
+// repeats on deterministic seed substreams and aggregates mean / min / max /
+// stddev / retransmits / per-flow range / CPU — the exact columns the
+// paper's tables print.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dtnsim/app/iperf.hpp"
+#include "dtnsim/harness/testbeds.hpp"
+
+namespace dtnsim::harness {
+
+struct TestSpec {
+  std::string name;
+  host::HostConfig sender;
+  host::HostConfig receiver;
+  net::PathSpec path;
+  app::IperfOptions iperf;
+  bool link_flow_control = false;
+  int repeats = 10;
+  std::uint64_t base_seed = 0x5eed;
+
+  // Convenience: build a spec from a testbed + path name.
+  static TestSpec on(const Testbed& tb, const std::string& path_name,
+                     app::IperfOptions opts, std::string label = {});
+};
+
+struct TestResult {
+  std::string name;
+  int repeats = 0;
+
+  double avg_gbps = 0.0;
+  double min_gbps = 0.0;
+  double max_gbps = 0.0;
+  double stdev_gbps = 0.0;
+  double avg_retransmits = 0.0;
+
+  // Per-flow spread, averaged over repeats (Table III's "Range" column).
+  double flow_min_gbps = 0.0;
+  double flow_max_gbps = 0.0;
+
+  double snd_cpu_pct = 0.0;  // "TX Cores" (iperf3 + IRQ), percent of a core
+  double rcv_cpu_pct = 0.0;  // "RX Cores"
+
+  double zc_fallback_ratio = 0.0;  // fraction of zerocopy bytes that fell back
+
+  std::vector<double> samples_gbps;  // one per repeat (released raw data)
+};
+
+TestResult run_test(const TestSpec& spec);
+
+// Run a batch; convenient for sweep benches.
+std::vector<TestResult> run_tests(const std::vector<TestSpec>& specs);
+
+}  // namespace dtnsim::harness

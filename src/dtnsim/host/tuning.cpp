@@ -1,0 +1,19 @@
+#include "dtnsim/host/tuning.hpp"
+
+namespace dtnsim::host {
+
+TuningConfig TuningConfig::dtn_tuned() { return TuningConfig{}; }
+
+TuningConfig TuningConfig::stock() {
+  TuningConfig t;
+  t.sysctl = kern::SysctlConfig::linux_defaults();
+  t.irqbalance_disabled = false;
+  t.performance_governor = false;
+  t.smt_off = false;
+  t.ring_descriptors = 1024;
+  t.iommu_passthrough = false;
+  t.mtu_bytes = 1500.0;
+  return t;
+}
+
+}  // namespace dtnsim::host

@@ -1,0 +1,21 @@
+// Virtual-machine overhead model (paper §III-H, Fig. 3/4).
+//
+// AmLight runs the tests inside an Ubuntu 22.04 VM with NIC PCI passthrough
+// and vCPUs pinned to physical cores on the NIC's NUMA node. So configured,
+// VM throughput matched bare metal within one standard deviation (Fig. 4).
+// Without passthrough or pinning the virtualization tax is large.
+#pragma once
+
+namespace dtnsim::host {
+
+struct VmConfig {
+  int vcpus = 16;
+  bool pci_passthrough = true;   // NIC passed through (no virtio path)
+  bool vcpu_pinned = true;       // each vCPU fixed to a NIC-NUMA physical core
+  bool host_iommu_pt = true;     // iommu=pt + intel_iommu=on on the hypervisor
+};
+
+// Multiplier (>= 1) on all cycle costs when running inside this VM.
+double virtualization_factor(const VmConfig& vm);
+
+}  // namespace dtnsim::host

@@ -1,0 +1,35 @@
+#include "dtnsim/kern/gro.hpp"
+
+#include <algorithm>
+
+namespace dtnsim::kern {
+
+GroCounts gro_counts(double bytes, const SkbCaps& caps, double mtu_bytes) {
+  GroCounts out;
+  if (bytes <= 0) return out;
+  out.gro_bytes = effective_gro_bytes(caps, mtu_bytes);
+  out.aggregates = bytes / out.gro_bytes;
+  return out;
+}
+
+GroEngine::GroEngine(const SkbCaps& caps, double mtu_bytes)
+    : gro_bytes_(effective_gro_bytes(caps, mtu_bytes)) {}
+
+std::optional<double> GroEngine::add_segment(double seg_bytes) {
+  pending_ += std::max(seg_bytes, 0.0);
+  if (pending_ >= gro_bytes_) {
+    const double out = pending_;
+    pending_ = 0.0;
+    return out;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> GroEngine::flush() {
+  if (pending_ <= 0.0) return std::nullopt;
+  const double out = pending_;
+  pending_ = 0.0;
+  return out;
+}
+
+}  // namespace dtnsim::kern

@@ -1,0 +1,28 @@
+// Generic Segmentation Offload arithmetic.
+//
+// The fluid engine needs counts (how many super-packets, how many wire
+// segments) to price CPU work; the packet-level tests need an explicit
+// segmentation of a byte stream. Both live here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dtnsim/kern/skb.hpp"
+
+namespace dtnsim::kern {
+
+struct GsoCounts {
+  double superpackets = 0.0;  // GSO SKBs handed to the driver
+  double wire_segments = 0.0; // MTU-sized packets after (NIC) segmentation
+  double gso_bytes = 0.0;     // effective super-packet size used
+};
+
+// Fractional counts for fluid-rate math.
+GsoCounts gso_counts(double bytes, const SkbCaps& caps, bool zerocopy, double mtu_bytes);
+
+// Explicit segmentation for packet-level tests: returns per-SKB payloads.
+std::vector<double> gso_segment(double bytes, const SkbCaps& caps, bool zerocopy,
+                                double mtu_bytes);
+
+}  // namespace dtnsim::kern

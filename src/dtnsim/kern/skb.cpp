@@ -1,0 +1,36 @@
+#include "dtnsim/kern/skb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtnsim::kern {
+
+SkbCaps skb_caps(const KernelProfile& kernel, bool big_tcp_enabled, double big_tcp_size) {
+  SkbCaps caps;
+  caps.max_skb_frags = kernel.max_skb_frags;
+  if (big_tcp_enabled && kernel.supports_big_tcp_ipv4) {
+    caps.gso_max_bytes = std::clamp(big_tcp_size, kLegacyGsoMax, kBigTcpGsoMaxIpv4);
+    caps.gro_max_bytes = caps.gso_max_bytes;
+  }
+  return caps;
+}
+
+double effective_gso_bytes(const SkbCaps& caps, bool zerocopy, double mtu_bytes) {
+  const double frag_unit = zerocopy ? kPageBytes : kCopyFragBytes;
+  // One frag slot stays reserved for the protocol header page.
+  const double frag_limited = std::max(caps.max_skb_frags - 1, 1) * frag_unit;
+  return std::max(std::min(caps.gso_max_bytes, frag_limited), mtu_bytes);
+}
+
+double effective_gro_bytes(const SkbCaps& caps, double mtu_bytes) {
+  const double frag_limited = std::max(caps.max_skb_frags - 1, 1) * kCopyFragBytes;
+  return std::max(std::min(caps.gro_max_bytes, frag_limited), mtu_bytes);
+}
+
+int skbs_for_send(double bytes, const SkbCaps& caps, bool zerocopy, double mtu_bytes) {
+  if (bytes <= 0) return 0;
+  const double gso = effective_gso_bytes(caps, zerocopy, mtu_bytes);
+  return static_cast<int>(std::ceil(bytes / gso));
+}
+
+}  // namespace dtnsim::kern

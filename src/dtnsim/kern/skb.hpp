@@ -1,0 +1,52 @@
+// SKB geometry: super-packet (GSO/GRO) sizing under frag-count limits.
+//
+// This is where BIG TCP and MSG_ZEROCOPY collide. A zerocopy send pins the
+// user's 4 KiB pages, one SKB frag each, so a stock kernel's MAX_SKB_FRAGS=17
+// caps a zerocopy super-packet near 64 KiB no matter what gso_max_size says.
+// The copy path fills 32 KiB compound-page frags, so BIG TCP (up to 512 KiB)
+// works on stock kernels — but only without zerocopy. Rebuilding with
+// MAX_SKB_FRAGS=45 (paper §V-C) lifts the zerocopy cap to ~180 KiB.
+#pragma once
+
+#include "dtnsim/kern/version.hpp"
+
+namespace dtnsim::kern {
+
+inline constexpr double kPageBytes = 4096.0;
+inline constexpr double kCopyFragBytes = 32768.0;  // order-3 compound pages
+inline constexpr double kLegacyGsoMax = 65536.0;   // pre-BIG-TCP ceiling
+inline constexpr double kBigTcpGsoMaxIpv4 = 524288.0;
+inline constexpr double kBigTcpGsoMaxIpv6 = 524288.0;
+
+struct SkbCaps {
+  double gso_max_bytes = kLegacyGsoMax;  // ip link gso_ipv4_max_size
+  double gro_max_bytes = kLegacyGsoMax;  // ip link gro_ipv4_max_size
+  int max_skb_frags = 17;                // kernel CONFIG value
+};
+
+// SKB caps for a kernel profile with BIG TCP optionally enabled at
+// `big_tcp_size` bytes (the paper uses 150 KiB). Disabled or unsupported
+// kernels keep the 64 KiB legacy ceiling.
+SkbCaps skb_caps(const KernelProfile& kernel, bool big_tcp_enabled, double big_tcp_size);
+
+// Largest TX super-packet actually buildable: frag-count times frag unit
+// (4 KiB pinned pages under zerocopy, 32 KiB compound pages for copies),
+// clamped by gso_max and never below one MTU.
+double effective_gso_bytes(const SkbCaps& caps, bool zerocopy, double mtu_bytes);
+
+// Largest RX aggregate GRO can build (header frag reserved).
+double effective_gro_bytes(const SkbCaps& caps, double mtu_bytes);
+
+// Descriptive single-packet view used by the packet-level tests.
+struct Skb {
+  double payload_bytes = 0.0;
+  int nr_frags = 0;
+  bool zerocopy = false;
+  double gso_size = 0.0;  // MSS each segment carries on the wire
+};
+
+// Build the SKB sequence for sending `bytes`; every SKB respects the frag
+// and gso limits. Exposed for unit/property tests of the geometry.
+int skbs_for_send(double bytes, const SkbCaps& caps, bool zerocopy, double mtu_bytes);
+
+}  // namespace dtnsim::kern

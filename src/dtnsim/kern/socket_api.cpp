@@ -1,0 +1,122 @@
+#include "dtnsim/kern/socket_api.hpp"
+
+#include <algorithm>
+
+namespace dtnsim::kern {
+
+const char* sock_err_name(SockErr e) {
+  switch (e) {
+    case SockErr::Ok:
+      return "OK";
+    case SockErr::EInval:
+      return "EINVAL";
+    case SockErr::EAgain:
+      return "EAGAIN";
+    case SockErr::ENobufs:
+      return "ENOBUFS";
+  }
+  return "?";
+}
+
+SimSocket::SimSocket(const SysctlConfig& sysctl, const SkbCaps& caps, double mtu_bytes)
+    : sysctl_(sysctl),
+      caps_(caps),
+      mtu_(mtu_bytes),
+      wmem_limit_(sysctl.max_send_window_bytes()),
+      zc_(sysctl.optmem_max) {}
+
+SockErr SimSocket::set_zerocopy(bool on) {
+  so_zerocopy_ = on;
+  return SockErr::Ok;
+}
+
+SockErr SimSocket::set_max_pacing_rate(double bps) {
+  pacing_rate_ = std::max(bps, 0.0);
+  return SockErr::Ok;
+}
+
+double SimSocket::effective_pacing_bps() const {
+  // SO_MAX_PACING_RATE is implemented by fq; under fq_codel it is inert.
+  return sysctl_.default_qdisc == QdiscKind::Fq ? pacing_rate_ : 0.0;
+}
+
+SendResult SimSocket::send(double bytes, int flags) {
+  SendResult res;
+  if (bytes <= 0) return res;
+
+  const bool want_zc = (flags & MSG_ZEROCOPY_FLAG) != 0;
+  if (want_zc && !so_zerocopy_) {
+    // Linux: sendmsg(MSG_ZEROCOPY) on a socket without SO_ZEROCOPY.
+    res.err = SockErr::EInval;
+    return res;
+  }
+
+  const double room = wmem_limit_ - wmem_used_;
+  if (room <= 0) {
+    res.err = SockErr::EAgain;
+    return res;
+  }
+  const double queued = std::min(bytes, room);
+
+  if (want_zc) {
+    const double gso = effective_gso_bytes(caps_, /*zerocopy=*/true, mtu_);
+    const auto plan = zc_.plan_send(queued, gso);
+    res.zc_bytes = plan.zc_bytes;
+    res.fallback_bytes = plan.fallback_bytes;  // kernel copies silently
+  }
+
+  wmem_used_ += queued;
+  res.bytes_queued = queued;
+  pending_.push_back(
+      PendingRange{send_seq_, queued, want_zc, want_zc && res.fallback_bytes > 0});
+  ++send_seq_;
+  return res;
+}
+
+void SimSocket::on_acked(double bytes) {
+  double remaining = std::max(bytes, 0.0);
+  wmem_used_ = std::max(wmem_used_ - remaining, 0.0);
+  zc_.on_acked(remaining);
+
+  while (remaining > 0 && !pending_.empty()) {
+    PendingRange& front = pending_.front();
+    if (front.bytes > remaining + 1e-9) {
+      front.bytes -= remaining;
+      break;
+    }
+    remaining -= front.bytes;
+    if (front.zerocopy) {
+      // Coalesce with the previous queued completion when contiguous and of
+      // the same kind — exactly what the kernel's error queue does.
+      if (!errq_.empty() && errq_.back().hi + 1 == front.seq &&
+          errq_.back().copied == front.fell_back) {
+        errq_.back().hi = front.seq;
+      } else {
+        errq_.push_back(ZcCompletion{front.seq, front.seq, front.fell_back});
+      }
+    }
+    pending_.pop_front();
+  }
+}
+
+std::optional<ZcCompletion> SimSocket::read_error_queue() {
+  if (errq_.empty()) return std::nullopt;
+  const ZcCompletion out = errq_.front();
+  errq_.pop_front();
+  return out;
+}
+
+void SimSocket::deliver(double bytes) { rx_queue_ += std::max(bytes, 0.0); }
+
+double SimSocket::recv(double max_bytes, int flags) {
+  const double take = std::min(std::max(max_bytes, 0.0), rx_queue_);
+  rx_queue_ -= take;
+  if (flags & MSG_TRUNC_FLAG) {
+    truncated_ += take;  // discarded, never copied to user space
+  } else {
+    copied_to_user_ += take;
+  }
+  return take;
+}
+
+}  // namespace dtnsim::kern

@@ -1,0 +1,115 @@
+// Linux-socket-shaped API over the simulated send/receive paths.
+//
+// The paper's tooling talks to three kernel interfaces: SO_ZEROCOPY +
+// MSG_ZEROCOPY with completions on the error queue, MSG_TRUNC receives, and
+// SO_MAX_PACING_RATE (what --fq-rate sets). SimSocket reproduces those
+// semantics — including the sharp edges: MSG_ZEROCOPY without SO_ZEROCOPY
+// fails with EINVAL exactly like Linux, completions arrive as byte ranges
+// on the error queue and may coalesce, and pacing only takes effect when
+// the qdisc is fq.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "dtnsim/kern/skb.hpp"
+#include "dtnsim/kern/sysctl.hpp"
+#include "dtnsim/kern/zc_socket.hpp"
+
+namespace dtnsim::kern {
+
+enum class SockErr {
+  Ok = 0,
+  EInval,   // MSG_ZEROCOPY without SO_ZEROCOPY
+  EAgain,   // send buffer full
+  ENobufs,  // optmem exhausted AND fallback disabled (diagnostics mode)
+};
+
+const char* sock_err_name(SockErr e);
+
+// sendmsg/recvmsg flag bits (values match the Linux UAPI for familiarity).
+inline constexpr int MSG_TRUNC_FLAG = 0x20;
+inline constexpr int MSG_ZEROCOPY_FLAG = 0x4000000;
+
+struct SendResult {
+  SockErr err = SockErr::Ok;
+  double bytes_queued = 0.0;
+  double zc_bytes = 0.0;        // pinned, completion pending
+  double fallback_bytes = 0.0;  // silently copied (the Linux behaviour)
+};
+
+// A zerocopy completion notification from the error queue: the [lo, hi]
+// range of send calls whose pages may be reused. `copied` mirrors
+// SO_EE_CODE_ZEROCOPY_COPIED: the kernel fell back to copying this range.
+struct ZcCompletion {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  bool copied = false;
+};
+
+class SimSocket {
+ public:
+  // `sysctl` supplies optmem_max and wmem; `caps` the SKB geometry;
+  // `qdisc` gates whether SO_MAX_PACING_RATE is honoured.
+  SimSocket(const SysctlConfig& sysctl, const SkbCaps& caps, double mtu_bytes);
+
+  // --- setsockopt ---------------------------------------------------------
+  SockErr set_zerocopy(bool on);                 // SO_ZEROCOPY
+  SockErr set_max_pacing_rate(double bps);       // SO_MAX_PACING_RATE
+  bool zerocopy_enabled() const { return so_zerocopy_; }
+  // Effective pacing rate: 0 when the qdisc cannot pace.
+  double effective_pacing_bps() const;
+
+  // --- send path ----------------------------------------------------------
+  // Queue `bytes` with `flags`. MSG_ZEROCOPY requires SO_ZEROCOPY. Returns
+  // how much was queued and how the zerocopy/fallback split landed.
+  SendResult send(double bytes, int flags);
+
+  // The network ACKed `bytes`: frees wmem and releases zerocopy charges;
+  // completed send-call ranges appear on the error queue.
+  void on_acked(double bytes);
+
+  // MSG_ERRQUEUE read: pop the next (possibly coalesced) completion.
+  std::optional<ZcCompletion> read_error_queue();
+
+  // --- receive path --------------------------------------------------------
+  // Deliver `bytes` into the receive queue (from the network).
+  void deliver(double bytes);
+  // recv with optional MSG_TRUNC (discard without copying).
+  double recv(double max_bytes, int flags);
+  double rx_queue_bytes() const { return rx_queue_; }
+
+  // --- introspection --------------------------------------------------------
+  double wmem_used() const { return wmem_used_; }
+  double wmem_limit() const { return wmem_limit_; }
+  double optmem_used() const { return zc_.optmem_used(); }
+  std::uint32_t send_calls() const { return send_seq_; }
+  double bytes_copied_to_user() const { return copied_to_user_; }
+  double bytes_truncated() const { return truncated_; }
+
+ private:
+  struct PendingRange {
+    std::uint32_t seq;
+    double bytes;
+    bool zerocopy;
+    bool fell_back;
+  };
+
+  SysctlConfig sysctl_;
+  SkbCaps caps_;
+  double mtu_;
+  double wmem_limit_;
+  double wmem_used_ = 0.0;
+  bool so_zerocopy_ = false;
+  double pacing_rate_ = 0.0;
+  ZcTxSocket zc_;
+  std::uint32_t send_seq_ = 0;
+  std::deque<PendingRange> pending_;
+  std::deque<ZcCompletion> errq_;
+  double rx_queue_ = 0.0;
+  double copied_to_user_ = 0.0;
+  double truncated_ = 0.0;
+};
+
+}  // namespace dtnsim::kern

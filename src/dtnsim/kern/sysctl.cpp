@@ -1,0 +1,48 @@
+#include "dtnsim/kern/sysctl.hpp"
+
+namespace dtnsim::kern {
+
+const char* qdisc_name(QdiscKind q) {
+  switch (q) {
+    case QdiscKind::Fq:
+      return "fq";
+    case QdiscKind::FqCodel:
+      return "fq_codel";
+  }
+  return "?";
+}
+
+const char* congestion_name(CongestionAlgo c) {
+  switch (c) {
+    case CongestionAlgo::Cubic:
+      return "cubic";
+    case CongestionAlgo::BbrV1:
+      return "bbr";
+    case CongestionAlgo::BbrV3:
+      return "bbr3";
+    case CongestionAlgo::Reno:
+      return "reno";
+  }
+  return "?";
+}
+
+SysctlConfig SysctlConfig::linux_defaults() { return SysctlConfig{}; }
+
+SysctlConfig SysctlConfig::fasterdata_tuned() {
+  SysctlConfig s;
+  s.rmem_max = 2147483647.0;
+  s.wmem_max = 2147483647.0;
+  s.tcp_rmem_min = 4096;
+  s.tcp_rmem_def = 131072;
+  s.tcp_rmem_max = 2147483647.0;
+  s.tcp_wmem_min = 4096;
+  s.tcp_wmem_def = 16384;
+  s.tcp_wmem_max = 2147483647.0;
+  s.tcp_no_metrics_save = true;
+  s.default_qdisc = QdiscKind::Fq;
+  s.optmem_max = 1048576;  // "needed for MSG_ZEROCOPY"
+  s.congestion = CongestionAlgo::Cubic;
+  return s;
+}
+
+}  // namespace dtnsim::kern

@@ -1,0 +1,71 @@
+#include "dtnsim/kern/version.hpp"
+
+namespace dtnsim::kern {
+
+const char* kernel_version_name(KernelVersion v) {
+  switch (v) {
+    case KernelVersion::V5_10:
+      return "5.10";
+    case KernelVersion::V5_15:
+      return "5.15";
+    case KernelVersion::V6_5:
+      return "6.5";
+    case KernelVersion::V6_8:
+      return "6.8";
+    case KernelVersion::V6_11:
+      return "6.11";
+  }
+  return "?";
+}
+
+KernelProfile kernel_profile(KernelVersion v) {
+  KernelProfile p;
+  p.version = v;
+  p.name = kernel_version_name(v);
+  switch (v) {
+    case KernelVersion::V5_10:
+      p.major = 5;
+      p.minor = 10;
+      p.stack_factor_intel = 1.30;
+      p.stack_factor_amd = 1.35;
+      break;
+    case KernelVersion::V5_15:
+      p.major = 5;
+      p.minor = 15;
+      p.stack_factor_intel = 1.27;
+      p.stack_factor_amd = 1.31;
+      break;
+    case KernelVersion::V6_5:
+      p.major = 6;
+      p.minor = 5;
+      p.stack_factor_intel = 1.08;
+      p.stack_factor_amd = 1.17;
+      break;
+    case KernelVersion::V6_8:
+      p.major = 6;
+      p.minor = 8;
+      p.stack_factor_intel = 1.00;
+      p.stack_factor_amd = 1.00;
+      break;
+    case KernelVersion::V6_11:
+      p.major = 6;
+      p.minor = 11;
+      p.stack_factor_intel = 0.97;
+      p.stack_factor_amd = 0.97;
+      break;
+  }
+  p.supports_msg_zerocopy = p.at_least(4, 17);
+  p.supports_big_tcp_ipv6 = p.at_least(5, 19);
+  p.supports_big_tcp_ipv4 = p.at_least(6, 3);
+  p.supports_hw_gro = p.at_least(6, 11);
+  return p;
+}
+
+KernelProfile custom_kernel_with_frags(KernelProfile base, int max_skb_frags) {
+  base.max_skb_frags = max_skb_frags;
+  base.custom_build = true;
+  base.name += "-frags" + std::to_string(max_skb_frags);
+  return base;
+}
+
+}  // namespace dtnsim::kern

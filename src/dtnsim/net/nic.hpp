@@ -1,0 +1,75 @@
+// NIC model: line rate, RX ring, drain asymmetry, pause frames, HW GRO.
+//
+// The receive-side drop mechanics the paper keeps returning to live here.
+// Two drain rates capture the burst/smooth asymmetry:
+//   - drain_smooth_bps: per-flow kernel-path throughput under paced, evenly
+//     spaced arrivals (GRO batches well, caches stay warm). The paper picks
+//     its pacing rates (50 G AmLight, 40 G ESnet) just below this.
+//   - drain_burst_bps: sustainable rate while back-to-back line-rate trains
+//     slam the ring (IOTLB/cache thrash, app cannot drain between trains).
+//     WAN paths build longer trains (paper §II-D), so unpaced WAN flows
+//     equilibrate against this plus whatever the ring can absorb.
+// IEEE 802.3x pause frames convert would-be drops into backpressure.
+#pragma once
+
+#include <string>
+
+#include "dtnsim/util/units.hpp"
+
+namespace dtnsim::net {
+
+struct NicSpec {
+  std::string model = "generic-100g";
+  double line_rate_bps = 100e9;
+  int default_ring_descriptors = 1024;
+  int max_ring_descriptors = 8192;
+  bool hw_gro_capable = false;  // ConnectX-7 SHAMPO (Linux 6.11+)
+  // Per-flow kernel drain ceilings (see file comment).
+  double drain_smooth_bps = 52e9;
+  double drain_burst_bps = 42e9;
+};
+
+// AmLight hosts: Nvidia ConnectX-5, 100G, fw 16.35.3502.
+NicSpec connectx5_100g();
+// ESnet testbed hosts: Nvidia ConnectX-7 at 200G.
+NicSpec connectx7_200g();
+// Future-work projection hardware.
+NicSpec connectx7_400g();
+
+struct RxArrival {
+  double bytes = 0.0;       // payload arriving this tick
+  bool paced = false;       // sender paced through fq
+  double train_bytes = 0.0; // contiguous line-rate train size (unpaced)
+};
+
+struct RxVerdict {
+  double accepted_bytes = 0.0;
+  double dropped_bytes = 0.0;
+  bool pause_frames_sent = false;
+};
+
+class NicRx {
+ public:
+  NicRx(const NicSpec& spec, int ring_descriptors, double mtu_bytes,
+        bool flow_control_enabled);
+
+  // Evaluate one tick of arrivals for one flow. `dt_sec` is the tick length;
+  // `rtt_sec` scales how much ring credit a window's worth of trains can use.
+  RxVerdict process(const RxArrival& arrival, double dt_sec, double rtt_sec) const;
+
+  // Highest *unpaced* arrival rate that avoids drops at this RTT.
+  double unpaced_tolerable_bps(double rtt_sec) const;
+  // Highest paced rate that avoids drops (RTT-independent).
+  double paced_tolerable_bps() const { return spec_.drain_smooth_bps; }
+
+  double ring_bytes() const { return ring_bytes_; }
+  const NicSpec& spec() const { return spec_; }
+  bool flow_control() const { return flow_control_; }
+
+ private:
+  NicSpec spec_;
+  double ring_bytes_;
+  bool flow_control_;
+};
+
+}  // namespace dtnsim::net

@@ -1,0 +1,52 @@
+#include "dtnsim/net/switch_model.hpp"
+
+#include <algorithm>
+
+namespace dtnsim::net {
+
+SwitchSpec noviflow_wb5132() {
+  SwitchSpec s;
+  s.model = "NoviFlow WB-5132D-E (Wedge 100BF-32X)";
+  s.egress_bps = 100e9;
+  s.shared_buffer_bytes = 22.0 * 1024 * 1024;  // Tofino-class shallow buffer
+  return s;
+}
+
+SwitchSpec edgecore_as9716() {
+  SwitchSpec s;
+  s.model = "Edgecore AS9716-32D";
+  s.egress_bps = 200e9;
+  s.shared_buffer_bytes = 64.0 * 1024 * 1024;  // paper §III-F
+  return s;
+}
+
+double SwitchModel::burst_tolerance_bps(double rtt_sec, double burst_fraction) const {
+  const double bf = std::clamp(burst_fraction, 0.01, 1.0);
+  // Egress always drains; the buffer absorbs one round's synchronized burst.
+  return spec_.egress_bps +
+         spec_.shared_buffer_bytes * 8.0 / std::max(rtt_sec, 1e-3) / bf * 0.5;
+}
+
+SwitchModel::Outcome SwitchModel::offer(double bytes, double dt_sec,
+                                        double burst_fraction) const {
+  Outcome out;
+  if (bytes <= 0 || dt_sec <= 0) return out;
+  const double rate = bytes * 8.0 / dt_sec;
+  const double egress_bytes = spec_.egress_bps * dt_sec / 8.0;
+  const double bf = std::clamp(burst_fraction, 0.01, 1.0);
+
+  if (rate <= spec_.egress_bps) {
+    out.accepted_bytes = bytes;
+    out.buffer_peak_bytes = std::min(bytes * bf * 0.25, spec_.shared_buffer_bytes);
+    return out;
+  }
+
+  const double excess = bytes - egress_bytes;
+  const double absorbed = std::min(excess, spec_.shared_buffer_bytes / bf);
+  out.buffer_peak_bytes = std::min(absorbed * bf, spec_.shared_buffer_bytes);
+  out.dropped_bytes = std::max(excess - absorbed, 0.0);
+  out.accepted_bytes = bytes - out.dropped_bytes;
+  return out;
+}
+
+}  // namespace dtnsim::net

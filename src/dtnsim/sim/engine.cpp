@@ -1,0 +1,50 @@
+#include "dtnsim/sim/engine.hpp"
+
+#include <algorithm>
+
+namespace dtnsim::sim {
+
+EventHandle Engine::schedule(Nanos delay, EventQueue::Callback fn) {
+  return schedule_at(now_ + std::max<Nanos>(delay, 0), std::move(fn));
+}
+
+EventHandle Engine::schedule_at(Nanos when, EventQueue::Callback fn) {
+  return queue_.push(std::max(when, now_), std::move(fn));
+}
+
+void Engine::run() {
+  Nanos t = 0;
+  while (auto fn = queue_.pop(&t)) {
+    now_ = t;
+    ++executed_;
+    fn();
+  }
+}
+
+void Engine::run_until(Nanos until) {
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    Nanos t = 0;
+    auto fn = queue_.pop(&t);
+    if (!fn) break;
+    now_ = t;
+    ++executed_;
+    fn();
+  }
+  now_ = std::max(now_, until);
+}
+
+std::size_t Engine::step(std::size_t n) {
+  std::size_t ran = 0;
+  while (ran < n) {
+    Nanos t = 0;
+    auto fn = queue_.pop(&t);
+    if (!fn) break;
+    now_ = t;
+    ++executed_;
+    fn();
+    ++ran;
+  }
+  return ran;
+}
+
+}  // namespace dtnsim::sim

@@ -1,0 +1,45 @@
+#include "dtnsim/sim/event_queue.hpp"
+
+namespace dtnsim::sim {
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+EventHandle EventQueue::push(Nanos time, Callback fn) {
+  auto flag = std::make_shared<bool>(false);
+  heap_.push(Entry{time, next_seq_++, std::move(fn), flag});
+  ++live_;
+  return EventHandle(flag);
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && *heap_.top().cancelled) {
+    heap_.pop();
+    --live_;
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+Nanos EventQueue::next_time() const {
+  drop_cancelled();
+  return heap_.empty() ? -1 : heap_.top().time;
+}
+
+EventQueue::Callback EventQueue::pop(Nanos* time_out) {
+  drop_cancelled();
+  if (heap_.empty()) return {};
+  // priority_queue::top is const; the callback must be moved out, so copy the
+  // shared bits and pop. Entries are small apart from the std::function.
+  Entry top = heap_.top();
+  heap_.pop();
+  --live_;
+  if (time_out) *time_out = top.time;
+  return std::move(top.fn);
+}
+
+}  // namespace dtnsim::sim

@@ -1,0 +1,93 @@
+#include "dtnsim/tcp/bbr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtnsim::tcp {
+namespace {
+
+constexpr double kStartupGain = 2.885;
+constexpr double kDrainGain = 1.0 / 2.885;
+// PROBE_BW pacing-gain cycle (v1).
+constexpr std::array<double, 8> kCycleGains = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+// v3 probes less aggressively and leaves headroom.
+constexpr std::array<double, 8> kCycleGainsV3 = {1.20, 0.80, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+
+}  // namespace
+
+Bbr::Bbr(Version version, double mss_bytes) : version_(version), mss_(mss_bytes) {}
+
+double Bbr::cwnd_bytes() const {
+  if (btl_bw_bps_ <= 0 || min_rtt_sec_ >= 1e9) return 10.0 * mss_;
+  const double bdp = btl_bw_bps_ * min_rtt_sec_ / 8.0;
+  const double gain = state_ == State::Startup ? kStartupGain : 2.0;
+  return std::max(gain * bdp, 4.0 * mss_);
+}
+
+double Bbr::pacing_rate_bps() const {
+  if (btl_bw_bps_ <= 0) return 0.0;
+  double gain = 1.0;
+  switch (state_) {
+    case State::Startup:
+      gain = kStartupGain;
+      break;
+    case State::Drain:
+      gain = kDrainGain;
+      break;
+    case State::ProbeBw:
+      gain = (version_ == Version::V1 ? kCycleGains : kCycleGainsV3)
+          [static_cast<std::size_t>(cycle_index_)];
+      break;
+  }
+  return btl_bw_bps_ * gain;
+}
+
+void Bbr::advance_cycle(double now_sec) {
+  if (now_sec - cycle_start_ >= min_rtt_sec_) {
+    cycle_index_ = (cycle_index_ + 1) % static_cast<int>(kCycleGains.size());
+    cycle_start_ = now_sec;
+    recent_loss_bytes_ = 0.0;
+  }
+}
+
+void Bbr::on_ack(double now_sec, double acked_bytes, double rtt_sec) {
+  if (acked_bytes <= 0 || rtt_sec <= 0) return;
+  min_rtt_sec_ = std::min(min_rtt_sec_, rtt_sec);
+
+  const double delivery_rate = acked_bytes * 8.0 / rtt_sec;
+  btl_bw_bps_ = std::max(btl_bw_bps_ * 0.98, delivery_rate);  // leaky max filter
+
+  switch (state_) {
+    case State::Startup:
+      if (btl_bw_bps_ < full_bw_bps_ * 1.25) {
+        if (++full_bw_rounds_ >= 3) {
+          state_ = State::Drain;
+        }
+      } else {
+        full_bw_bps_ = btl_bw_bps_;
+        full_bw_rounds_ = 0;
+      }
+      break;
+    case State::Drain:
+      state_ = State::ProbeBw;
+      cycle_start_ = now_sec;
+      break;
+    case State::ProbeBw:
+      advance_cycle(now_sec);
+      break;
+  }
+}
+
+void Bbr::on_loss(double now_sec, double lost_bytes) {
+  (void)now_sec;
+  recent_loss_bytes_ += lost_bytes;
+  if (version_ == Version::V1) return;  // v1 famously ignores loss
+  // v3: heavy loss within a cycle backs the estimate off.
+  const double bdp = btl_bw_bps_ * std::max(min_rtt_sec_, 1e-4) / 8.0;
+  if (bdp > 0 && recent_loss_bytes_ > 0.02 * bdp) {
+    btl_bw_bps_ *= 0.85;
+    recent_loss_bytes_ = 0.0;
+  }
+}
+
+}  // namespace dtnsim::tcp

@@ -1,0 +1,54 @@
+// BBR v1 and v3 (fluid-clocked, behaviourally faithful simplification).
+//
+// The paper (§IV-F) reports: throughput comparable to CUBIC on clean paths,
+// noticeably more retransmits (especially BBRv1), faster WAN ramp-up, and
+// parallel BBR flows that hurt each other unless fq pacing is applied on
+// top. The model captures exactly those behaviours: a max-filtered bandwidth
+// estimate, STARTUP/DRAIN/PROBE_BW gains, 2*BDP cwnd cap, v1 ignoring loss,
+// v3 backing off on heavy loss and probing with headroom.
+#pragma once
+
+#include <array>
+
+#include "dtnsim/tcp/cc.hpp"
+
+namespace dtnsim::tcp {
+
+class Bbr final : public CongestionControl {
+ public:
+  enum class Version { V1, V3 };
+
+  Bbr(Version version, double mss_bytes);
+
+  void on_ack(double now_sec, double acked_bytes, double rtt_sec) override;
+  void on_loss(double now_sec, double lost_bytes) override;
+
+  double cwnd_bytes() const override;
+  double pacing_rate_bps() const override;
+  bool self_paced() const override { return true; }
+  bool in_slow_start() const override { return state_ == State::Startup; }
+  const char* name() const override { return version_ == Version::V1 ? "bbr" : "bbr3"; }
+
+  double btl_bw_bps() const { return btl_bw_bps_; }
+  double min_rtt_sec() const { return min_rtt_sec_; }
+
+ private:
+  enum class State { Startup, Drain, ProbeBw };
+
+  void advance_cycle(double now_sec);
+
+  Version version_;
+  double mss_;
+  State state_ = State::Startup;
+
+  double btl_bw_bps_ = 0.0;
+  double min_rtt_sec_ = 1e9;
+  double full_bw_bps_ = 0.0;
+  int full_bw_rounds_ = 0;
+
+  int cycle_index_ = 0;
+  double cycle_start_ = 0.0;
+  double recent_loss_bytes_ = 0.0;
+};
+
+}  // namespace dtnsim::tcp

@@ -1,0 +1,24 @@
+#include "dtnsim/tcp/cc.hpp"
+
+#include "dtnsim/tcp/bbr.hpp"
+#include "dtnsim/tcp/cubic.hpp"
+#include "dtnsim/tcp/reno.hpp"
+
+namespace dtnsim::tcp {
+
+std::unique_ptr<CongestionControl> make_congestion_control(kern::CongestionAlgo algo,
+                                                           double mss_bytes) {
+  switch (algo) {
+    case kern::CongestionAlgo::Cubic:
+      return std::make_unique<Cubic>(mss_bytes);
+    case kern::CongestionAlgo::BbrV1:
+      return std::make_unique<Bbr>(Bbr::Version::V1, mss_bytes);
+    case kern::CongestionAlgo::BbrV3:
+      return std::make_unique<Bbr>(Bbr::Version::V3, mss_bytes);
+    case kern::CongestionAlgo::Reno:
+      return std::make_unique<Reno>(mss_bytes);
+  }
+  return std::make_unique<Cubic>(mss_bytes);
+}
+
+}  // namespace dtnsim::tcp

@@ -1,0 +1,38 @@
+// Congestion-control interface.
+//
+// The fluid engine clocks each flow once per RTT-ish tick and feeds the CC
+// module ACK/loss aggregates; the CC module answers with a congestion window
+// (bytes) and, for BBR, a self-pacing rate. CUBIC is the paper's default;
+// BBRv1/BBRv3 exist for the §IV-F comparison (similar throughput, more
+// retransmits, faster ramp-up).
+#pragma once
+
+#include <memory>
+
+#include "dtnsim/kern/sysctl.hpp"
+
+namespace dtnsim::tcp {
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  // `now_sec` is simulation time; `acked_bytes` newly acknowledged this tick.
+  virtual void on_ack(double now_sec, double acked_bytes, double rtt_sec) = 0;
+  // A loss event (one or more drops within the tick).
+  virtual void on_loss(double now_sec, double lost_bytes) = 0;
+
+  virtual double cwnd_bytes() const = 0;
+  // Self-imposed pacing rate in bits/s; 0 means "window-clocked only".
+  virtual double pacing_rate_bps() const { return 0.0; }
+  // Whether the algorithm's own pacing smooths its wire bursts.
+  virtual bool self_paced() const { return false; }
+  virtual bool in_slow_start() const = 0;
+  virtual const char* name() const = 0;
+};
+
+// mss: wire MSS in bytes. initial_cwnd defaults to Linux's 10 * MSS.
+std::unique_ptr<CongestionControl> make_congestion_control(kern::CongestionAlgo algo,
+                                                           double mss_bytes);
+
+}  // namespace dtnsim::tcp

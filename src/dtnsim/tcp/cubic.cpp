@@ -1,0 +1,55 @@
+#include "dtnsim/tcp/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtnsim::tcp {
+
+Cubic::Cubic(double mss_bytes) : mss_(mss_bytes) {}
+
+double Cubic::cubic_window_mss(double t_sec) const {
+  const double d = t_sec - k_sec_;
+  return kC * d * d * d + w_max_mss_;
+}
+
+void Cubic::on_ack(double now_sec, double acked_bytes, double rtt_sec) {
+  if (acked_bytes <= 0) return;
+  const double acked_mss = acked_bytes / mss_;
+
+  if (in_slow_start()) {
+    cwnd_mss_ += acked_mss;  // doubles per RTT
+    return;
+  }
+
+  if (epoch_start_ < 0) {
+    epoch_start_ = now_sec;
+    if (w_max_mss_ < cwnd_mss_) w_max_mss_ = cwnd_mss_;
+    k_sec_ = std::cbrt(std::max(w_max_mss_ - cwnd_mss_, 0.0) / kC);
+  }
+
+  const double t = now_sec - epoch_start_;
+  // Target one RTT ahead on the cubic curve.
+  const double target = cubic_window_mss(t + rtt_sec);
+  if (target > cwnd_mss_) {
+    cwnd_mss_ += (target - cwnd_mss_) / std::max(cwnd_mss_, 1.0) * acked_mss;
+  } else {
+    // TCP-friendly floor: grow at least like Reno.
+    cwnd_mss_ += acked_mss / std::max(cwnd_mss_, 1.0) * 0.5;
+  }
+}
+
+void Cubic::on_loss(double now_sec, double lost_bytes) {
+  (void)now_sec;
+  (void)lost_bytes;
+  // Fast convergence: losing again below the previous w_max shrinks it.
+  if (cwnd_mss_ < w_max_mss_) {
+    w_max_mss_ = cwnd_mss_ * (1.0 + kBeta) / 2.0;
+  } else {
+    w_max_mss_ = cwnd_mss_;
+  }
+  cwnd_mss_ = std::max(cwnd_mss_ * kBeta, 2.0);
+  ssthresh_mss_ = cwnd_mss_;
+  epoch_start_ = -1.0;
+}
+
+}  // namespace dtnsim::tcp

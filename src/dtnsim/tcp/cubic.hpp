@@ -1,0 +1,35 @@
+// CUBIC congestion control (RFC 8312 shape, fluid-clocked).
+#pragma once
+
+#include "dtnsim/tcp/cc.hpp"
+
+namespace dtnsim::tcp {
+
+class Cubic final : public CongestionControl {
+ public:
+  explicit Cubic(double mss_bytes);
+
+  void on_ack(double now_sec, double acked_bytes, double rtt_sec) override;
+  void on_loss(double now_sec, double lost_bytes) override;
+
+  double cwnd_bytes() const override { return cwnd_mss_ * mss_; }
+  bool in_slow_start() const override { return cwnd_mss_ < ssthresh_mss_; }
+  const char* name() const override { return "cubic"; }
+
+  double w_max_mss() const { return w_max_mss_; }
+
+  static constexpr double kBeta = 0.7;  // multiplicative decrease
+  static constexpr double kC = 0.4;     // cubic scaling constant
+
+ private:
+  double cubic_window_mss(double t_sec) const;
+
+  double mss_;
+  double cwnd_mss_ = 10.0;
+  double ssthresh_mss_ = 1e12;
+  double w_max_mss_ = 0.0;
+  double k_sec_ = 0.0;          // time to reach w_max again
+  double epoch_start_ = -1.0;   // < 0: no epoch running
+};
+
+}  // namespace dtnsim::tcp

@@ -1,0 +1,26 @@
+#include "dtnsim/tcp/reno.hpp"
+
+#include <algorithm>
+
+namespace dtnsim::tcp {
+
+void Reno::on_ack(double now_sec, double acked_bytes, double rtt_sec) {
+  (void)now_sec;
+  (void)rtt_sec;
+  if (acked_bytes <= 0) return;
+  const double acked_mss = acked_bytes / mss_;
+  if (in_slow_start()) {
+    cwnd_mss_ += acked_mss;
+  } else {
+    cwnd_mss_ += acked_mss / std::max(cwnd_mss_, 1.0);
+  }
+}
+
+void Reno::on_loss(double now_sec, double lost_bytes) {
+  (void)now_sec;
+  (void)lost_bytes;
+  cwnd_mss_ = std::max(cwnd_mss_ * 0.5, 2.0);
+  ssthresh_mss_ = cwnd_mss_;
+}
+
+}  // namespace dtnsim::tcp

@@ -1,0 +1,25 @@
+// Classic Reno AIMD — baseline for tests and the CC-comparison ablation.
+#pragma once
+
+#include "dtnsim/tcp/cc.hpp"
+
+namespace dtnsim::tcp {
+
+class Reno final : public CongestionControl {
+ public:
+  explicit Reno(double mss_bytes) : mss_(mss_bytes) {}
+
+  void on_ack(double now_sec, double acked_bytes, double rtt_sec) override;
+  void on_loss(double now_sec, double lost_bytes) override;
+
+  double cwnd_bytes() const override { return cwnd_mss_ * mss_; }
+  bool in_slow_start() const override { return cwnd_mss_ < ssthresh_mss_; }
+  const char* name() const override { return "reno"; }
+
+ private:
+  double mss_;
+  double cwnd_mss_ = 10.0;
+  double ssthresh_mss_ = 1e12;
+};
+
+}  // namespace dtnsim::tcp

@@ -1,0 +1,24 @@
+// RFC 6298 smoothed RTT estimation.
+#pragma once
+
+namespace dtnsim::tcp {
+
+class RttEstimator {
+ public:
+  void add_sample(double rtt_sec);
+
+  bool has_sample() const { return has_sample_; }
+  double srtt_sec() const { return srtt_; }
+  double rttvar_sec() const { return rttvar_; }
+  double min_rtt_sec() const { return min_rtt_; }
+  // Retransmission timeout: srtt + 4 * rttvar, floored at 200 ms like Linux.
+  double rto_sec() const;
+
+ private:
+  bool has_sample_ = false;
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  double min_rtt_ = 1e9;
+};
+
+}  // namespace dtnsim::tcp

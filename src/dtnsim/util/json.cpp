@@ -1,0 +1,154 @@
+#include "dtnsim/util/json.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dtnsim/util/strfmt.hpp"
+
+namespace dtnsim {
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::Object;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::Array;
+  return j;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  if (kind_ != Kind::Object) throw std::logic_error("Json: operator[] on non-object");
+  return obj_[key];
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+void Json::push_back(Json v) {
+  if (kind_ == Kind::Null) kind_ = Kind::Array;
+  if (kind_ != Kind::Array) throw std::logic_error("Json: push_back on non-array");
+  arr_.push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  switch (kind_) {
+    case Kind::Array:
+      return arr_.size();
+    case Kind::Object:
+      return obj_.size();
+    default:
+      return 0;
+  }
+}
+
+void Json::escape_to(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strfmt("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad = indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                                       static_cast<std::size_t>(depth + 1),
+                                                   ' ')
+                                     : std::string();
+  const std::string close_pad =
+      indent > 0
+          ? std::string(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ')
+          : std::string();
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      break;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::Number: {
+      if (std::isfinite(num_) && num_ == std::floor(num_) && std::fabs(num_) < 9.0e15) {
+        out += strfmt("%lld", static_cast<long long>(num_));
+      } else {
+        out += strfmt("%.6g", num_);
+      }
+      break;
+    }
+    case Kind::String:
+      escape_to(out, str_);
+      break;
+    case Kind::Array: {
+      out += '[';
+      bool first = true;
+      for (const auto& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        out += nl;
+        out += pad;
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) {
+        out += nl;
+        out += close_pad;
+      }
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        out += nl;
+        out += pad;
+        escape_to(out, k);
+        out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) {
+        out += nl;
+        out += close_pad;
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace dtnsim

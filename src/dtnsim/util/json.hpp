@@ -1,0 +1,61 @@
+// Minimal JSON document builder (write-only).
+//
+// iperf3 emits JSON with --json; the harness mirrors that. We only ever
+// *produce* JSON, so this is a small value-tree with a serializer rather
+// than a parser.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dtnsim {
+
+class Json {
+ public:
+  Json() : kind_(Kind::Null) {}
+  Json(std::nullptr_t) : kind_(Kind::Null) {}
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Json(double d) : kind_(Kind::Number), num_(d) {}
+  Json(int i) : kind_(Kind::Number), num_(i) {}
+  Json(std::int64_t i) : kind_(Kind::Number), num_(static_cast<double>(i)) {}
+  Json(std::uint64_t i) : kind_(Kind::Number), num_(static_cast<double>(i)) {}
+  Json(const char* s) : kind_(Kind::String), str_(s) {}
+  Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+  static Json object();
+  static Json array();
+
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_object() const { return kind_ == Kind::Object; }
+  bool is_array() const { return kind_ == Kind::Array; }
+
+  // Object access; creates members on demand (object kind required).
+  Json& operator[](const std::string& key);
+  const Json* find(const std::string& key) const;
+
+  // Array append.
+  void push_back(Json v);
+  std::size_t size() const;
+
+  // Serialize; indent > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+ private:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  void dump_to(std::string& out, int indent, int depth) const;
+  static void escape_to(std::string& out, const std::string& s);
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  // std::map keeps key order deterministic for golden tests.
+  std::map<std::string, Json> obj_;
+};
+
+}  // namespace dtnsim

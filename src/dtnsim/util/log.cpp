@@ -1,0 +1,55 @@
+#include "dtnsim/util/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "dtnsim/util/strfmt.hpp"
+
+namespace dtnsim::log {
+namespace {
+
+Level g_level = Level::Warn;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::Debug:
+      return "DEBUG";
+    case Level::Info:
+      return "INFO";
+    case Level::Warn:
+      return "WARN";
+    case Level::Error:
+      return "ERROR";
+    case Level::Off:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level = level; }
+Level level() { return g_level; }
+
+void write(Level level, const std::string& msg) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[dtnsim %s] %s\n", level_name(level), msg.c_str());
+}
+
+#define DTNSIM_LOG_IMPL(fn, lvl)                 \
+  void fn(const char* fmt, ...) {                \
+    if (lvl < g_level) return;                   \
+    std::va_list args;                           \
+    va_start(args, fmt);                         \
+    write(lvl, vstrfmt(fmt, args));              \
+    va_end(args);                                \
+  }
+
+DTNSIM_LOG_IMPL(debug, Level::Debug)
+DTNSIM_LOG_IMPL(info, Level::Info)
+DTNSIM_LOG_IMPL(warn, Level::Warn)
+DTNSIM_LOG_IMPL(error, Level::Error)
+
+#undef DTNSIM_LOG_IMPL
+
+}  // namespace dtnsim::log

@@ -1,0 +1,32 @@
+// Leveled logging to stderr. Quiet by default so bench output stays clean.
+#pragma once
+
+#include <string>
+
+namespace dtnsim::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_level(Level level);
+Level level();
+
+void write(Level level, const std::string& msg);
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+void debug(const char* fmt, ...);
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+void info(const char* fmt, ...);
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+void warn(const char* fmt, ...);
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+void error(const char* fmt, ...);
+
+}  // namespace dtnsim::log

@@ -1,0 +1,74 @@
+#include "dtnsim/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtnsim {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean_of(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double stddev_of(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+double min_of(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.min();
+}
+
+double max_of(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.max();
+}
+
+double percentile_of(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+}  // namespace dtnsim

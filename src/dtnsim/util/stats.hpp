@@ -1,0 +1,41 @@
+// Streaming and batch statistics used by the test harness.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace dtnsim {
+
+// Welford streaming mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Sample variance / stddev (n-1 denominator), 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Batch helpers over a vector of samples.
+double mean_of(const std::vector<double>& xs);
+double stddev_of(const std::vector<double>& xs);
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+// Linear-interpolated percentile, p in [0,100].
+double percentile_of(std::vector<double> xs, double p);
+
+}  // namespace dtnsim

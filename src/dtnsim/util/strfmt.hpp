@@ -1,0 +1,16 @@
+// Minimal printf-style formatting into std::string.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace dtnsim {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string strfmt(const char* fmt, ...);
+
+std::string vstrfmt(const char* fmt, std::va_list args);
+
+}  // namespace dtnsim

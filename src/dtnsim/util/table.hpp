@@ -1,0 +1,39 @@
+// ASCII / markdown table printer for bench output.
+//
+// Every bench binary prints the same rows the paper's tables and figures
+// report; this keeps the formatting consistent and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dtnsim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Horizontal separator before the next row.
+  void add_separator();
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Fixed-width ASCII rendering.
+  std::string to_ascii() const;
+  // GitHub-flavoured markdown rendering.
+  std::string to_markdown() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::size_t> column_widths() const;
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dtnsim

@@ -1,0 +1,29 @@
+#include "dtnsim/util/units.hpp"
+
+#include "dtnsim/util/strfmt.hpp"
+
+namespace dtnsim::units {
+
+std::string format_rate(double bps) {
+  if (bps >= 1e9) return strfmt("%.2f Gbps", bps / 1e9);
+  if (bps >= 1e6) return strfmt("%.2f Mbps", bps / 1e6);
+  if (bps >= 1e3) return strfmt("%.2f Kbps", bps / 1e3);
+  return strfmt("%.0f bps", bps);
+}
+
+std::string format_bytes(double bytes) {
+  if (bytes >= 1024.0 * 1024.0 * 1024.0)
+    return strfmt("%.2f GiB", bytes / (1024.0 * 1024.0 * 1024.0));
+  if (bytes >= 1024.0 * 1024.0) return strfmt("%.2f MiB", bytes / (1024.0 * 1024.0));
+  if (bytes >= 1024.0) return strfmt("%.2f KiB", bytes / 1024.0);
+  return strfmt("%.0f B", bytes);
+}
+
+std::string format_time(Nanos t) {
+  if (t >= kNanosPerSec) return strfmt("%.2f s", static_cast<double>(t) / 1e9);
+  if (t >= 1'000'000) return strfmt("%.2f ms", static_cast<double>(t) / 1e6);
+  if (t >= 1'000) return strfmt("%.2f us", static_cast<double>(t) / 1e3);
+  return strfmt("%lld ns", static_cast<long long>(t));
+}
+
+}  // namespace dtnsim::units

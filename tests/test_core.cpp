@@ -1,0 +1,122 @@
+// Unit tests: Experiment builder and TuningAdvisor.
+#include <gtest/gtest.h>
+
+#include "dtnsim/core/dtnsim.hpp"
+
+namespace dtnsim {
+namespace {
+
+TEST(Experiment, BuilderComposesSpec) {
+  const auto spec = Experiment(harness::esnet())
+                        .path("WAN 63ms")
+                        .streams(8)
+                        .zerocopy()
+                        .pacing_gbps(15)
+                        .kernel(kern::KernelVersion::V5_15)
+                        .optmem_max(3405376)
+                        .repeats(7)
+                        .seed(99)
+                        .label("my test")
+                        .spec();
+  EXPECT_EQ(spec.iperf.parallel, 8);
+  EXPECT_TRUE(spec.iperf.zerocopy);
+  EXPECT_DOUBLE_EQ(spec.iperf.fq_rate_bps, 15e9);
+  EXPECT_EQ(spec.sender.kernel.version, kern::KernelVersion::V5_15);
+  EXPECT_DOUBLE_EQ(spec.sender.tuning.sysctl.optmem_max, 3405376.0);
+  EXPECT_EQ(spec.repeats, 7);
+  EXPECT_EQ(spec.base_seed, 99u);
+  EXPECT_EQ(spec.name, "my test");
+  EXPECT_NEAR(units::to_millis(spec.path.rtt), 63.0, 1e-9);
+}
+
+TEST(Experiment, DefaultsToLan) {
+  const auto spec = Experiment(harness::amlight()).spec();
+  EXPECT_EQ(spec.path.name, "LAN");
+}
+
+TEST(Experiment, TogglesApplyToBothHosts) {
+  const auto spec = Experiment(harness::esnet())
+                        .big_tcp(true, 200 * 1024)
+                        .mtu(1500)
+                        .ring(4096)
+                        .iommu_passthrough(false)
+                        .spec();
+  for (const auto* h : {&spec.sender, &spec.receiver}) {
+    EXPECT_TRUE(h->tuning.big_tcp_enabled);
+    EXPECT_DOUBLE_EQ(h->tuning.big_tcp_bytes, 200.0 * 1024);
+    EXPECT_DOUBLE_EQ(h->tuning.mtu_bytes, 1500.0);
+    EXPECT_EQ(h->tuning.ring_descriptors, 4096);
+    EXPECT_FALSE(h->tuning.iommu_passthrough);
+  }
+}
+
+TEST(Experiment, RunsEndToEnd) {
+  const auto r = Experiment(harness::esnet())
+                     .pacing_gbps(10)
+                     .duration_sec(3)
+                     .repeats(2)
+                     .run();
+  EXPECT_NEAR(r.avg_gbps, 10.0, 1.0);
+}
+
+TEST(Advisor, TunedHostOnCleanLanIsQuiet) {
+  const auto tb = harness::esnet(kern::KernelVersion::V6_8);
+  const auto advice =
+      advise(tb.sender, tb.lan(), UseCase::ParallelStreamDtn, /*fc=*/true);
+  EXPECT_FALSE(advice.has_critical());
+}
+
+TEST(Advisor, StockHostOnWanIsCritical) {
+  host::HostConfig h;
+  h.tuning = host::TuningConfig::stock();
+  const auto advice =
+      advise(h, harness::esnet_wan(), UseCase::SingleFlowBenchmark, false);
+  EXPECT_TRUE(advice.has_critical());
+  // Every §V-A headline shows up.
+  const std::string text = advice.to_string();
+  EXPECT_NE(text.find("irqbalance"), std::string::npos);
+  EXPECT_NE(text.find("default_qdisc=fq"), std::string::npos);
+  EXPECT_NE(text.find("iommu=pt"), std::string::npos);
+  EXPECT_NE(text.find("optmem_max"), std::string::npos);
+}
+
+TEST(Advisor, OldKernelFlagged) {
+  auto tb = harness::esnet(kern::KernelVersion::V5_15);
+  const auto advice = advise(tb.sender, tb.lan(), UseCase::SingleFlowBenchmark, true);
+  EXPECT_NE(advice.to_string().find("6.8"), std::string::npos);
+}
+
+TEST(Advisor, NoFlowControlSuggestsPacing) {
+  const auto tb = harness::esnet();
+  const auto advice = advise(tb.sender, tb.lan(), UseCase::ParallelStreamDtn, false);
+  EXPECT_NE(advice.to_string().find("802.3x"), std::string::npos);
+  EXPECT_TRUE(advice.has_critical());
+}
+
+TEST(Advisor, AmdRingAdviceVendorSpecific) {
+  auto tb = harness::esnet();
+  tb.sender.tuning.ring_descriptors = 1024;
+  const auto amd = advise(tb.sender, tb.lan(), UseCase::SingleFlowBenchmark, true);
+  EXPECT_NE(amd.to_string().find("8192"), std::string::npos);
+  auto am = harness::amlight();
+  am.sender.tuning.ring_descriptors = 1024;
+  const auto intel = advise(am.sender, am.lan(), UseCase::SingleFlowBenchmark, true);
+  EXPECT_EQ(intel.to_string().find("8192"), std::string::npos);
+}
+
+TEST(Advisor, BigTcpZerocopyConflictNoted) {
+  auto tb = harness::esnet();
+  tb.sender.tuning.big_tcp_enabled = true;
+  const auto advice = advise(tb.sender, tb.lan(), UseCase::ParallelStreamDtn, true);
+  EXPECT_NE(advice.to_string().find("MAX_SKB_FRAGS"), std::string::npos);
+}
+
+TEST(Advisor, PacingRecommendation) {
+  // §V-B: 1 Gbps for 10G clients; 5-8 Gbps between 100G hosts.
+  EXPECT_DOUBLE_EQ(recommended_pacing_gbps(100, 10), 1.0);
+  EXPECT_DOUBLE_EQ(recommended_pacing_gbps(100, 40), 5.0);
+  EXPECT_NEAR(recommended_pacing_gbps(100, 100), 8.0, 0.5);
+}
+
+}  // namespace
+}  // namespace dtnsim

@@ -1,0 +1,80 @@
+// Unit tests: the experiment registry and dataset-producing runner.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dtnsim/harness/experiments.hpp"
+
+namespace dtnsim::harness {
+namespace {
+
+TEST(Registry, CoversEveryPaperArtifact) {
+  std::set<std::string> ids;
+  for (const auto& def : experiment_registry()) ids.insert(def.id);
+  // Every evaluation figure and table has an entry.
+  for (const char* required :
+       {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "fig13", "table1", "table2", "table3"}) {
+    EXPECT_TRUE(ids.count(required)) << required;
+  }
+  EXPECT_GE(ids.size(), 16u);  // plus ablations
+}
+
+TEST(Registry, IdsUniqueAndLookupWorks) {
+  std::set<std::string> ids;
+  for (const auto& def : experiment_registry()) {
+    EXPECT_TRUE(ids.insert(def.id).second) << "duplicate id " << def.id;
+    EXPECT_EQ(find_experiment(def.id), &def);
+    EXPECT_FALSE(def.title.empty());
+    EXPECT_FALSE(def.paper_claim.empty());
+  }
+  EXPECT_EQ(find_experiment("fig99"), nullptr);
+}
+
+TEST(Registry, SpecsAreWellFormed) {
+  for (const auto& def : experiment_registry()) {
+    const auto specs = def.specs();
+    EXPECT_FALSE(specs.empty()) << def.id;
+    std::set<std::string> names;
+    for (const auto& s : specs) {
+      EXPECT_FALSE(s.name.empty()) << def.id;
+      EXPECT_TRUE(names.insert(s.name).second)
+          << def.id << " duplicate spec name " << s.name;
+      EXPECT_GE(s.iperf.parallel, 1);
+    }
+  }
+}
+
+TEST(Registry, TableSpecsMatchPaperGrids) {
+  const auto t1 = find_experiment("table1")->specs();
+  ASSERT_EQ(t1.size(), 4u);  // unpaced + 25/20/15
+  EXPECT_DOUBLE_EQ(t1[1].iperf.fq_rate_bps, 25e9);
+  EXPECT_EQ(t1[0].iperf.parallel, 8);
+
+  const auto t3 = find_experiment("table3")->specs();
+  ASSERT_EQ(t3.size(), 4u);
+  EXPECT_TRUE(t3[0].link_flow_control);
+}
+
+TEST(RunExperiment, ProducesDataset) {
+  const auto* def = find_experiment("table3");
+  ASSERT_NE(def, nullptr);
+  const Dataset ds = run_experiment(*def, /*duration=*/5.0, /*repeats=*/2);
+  EXPECT_EQ(ds.name(), "table3");
+  EXPECT_EQ(ds.size(), 4u);
+  const std::string csv = ds.summary_csv();
+  EXPECT_NE(csv.find("unpaced"), std::string::npos);
+  EXPECT_NE(csv.find("10G/stream"), std::string::npos);
+}
+
+TEST(RunExperiment, QuickRunRespectsOverrides) {
+  const auto* def = find_experiment("fig6");
+  const Dataset ds = run_experiment(*def, 3.0, 2);
+  const Json j = ds.to_json();
+  const Json* tests = j.find("tests");
+  ASSERT_NE(tests, nullptr);
+  EXPECT_EQ(tests->size(), 6u);  // 3 configs x 2 paths
+}
+
+}  // namespace
+}  // namespace dtnsim::harness

@@ -1,0 +1,142 @@
+// Integration tests: parallel streams (Tables I-III, Figs. 10-11).
+#include <gtest/gtest.h>
+
+#include "dtnsim/core/dtnsim.hpp"
+
+namespace dtnsim {
+namespace {
+
+harness::TestResult run8(Experiment e, double pace_gbps) {
+  return e.streams(8).pacing_gbps(pace_gbps).duration_sec(30).repeats(4).run();
+}
+
+// ---- Table I: ESnet LAN, kernel 5.15, no flow control ----
+
+TEST(TableI, UnpacedNearMemoryCeiling) {
+  const auto r = run8(Experiment(harness::esnet(kern::KernelVersion::V5_15)), 0);
+  EXPECT_NEAR(r.avg_gbps, 166.0, 10.0);
+}
+
+TEST(TableI, PacingGridOrdering) {
+  const auto tb = harness::esnet(kern::KernelVersion::V5_15);
+  const auto p25 = run8(Experiment(tb), 25);
+  const auto p20 = run8(Experiment(tb), 20);
+  const auto p15 = run8(Experiment(tb), 15);
+  EXPECT_GT(p25.avg_gbps, p20.avg_gbps);
+  EXPECT_GT(p20.avg_gbps, p15.avg_gbps);
+  EXPECT_NEAR(p15.avg_gbps, 118.0, 4.0);  // 8x15 minus overhead
+  // Deep pacing is rock stable (paper: stdev 0.1).
+  EXPECT_LT(p15.stdev_gbps, 1.0);
+}
+
+// ---- Table II: ESnet WAN ----
+
+TEST(TableII, UnpacedHeavyRetransmits) {
+  const auto r =
+      run8(Experiment(harness::esnet(kern::KernelVersion::V5_15)).path("WAN 63ms"), 0);
+  EXPECT_NEAR(r.avg_gbps, 127.0, 10.0);
+  EXPECT_GT(r.avg_retransmits, 10000.0);  // paper: 73K
+}
+
+TEST(TableII, PacingCutsRetransmitsMonotonically) {
+  const auto tb = harness::esnet(kern::KernelVersion::V5_15);
+  const auto p0 = run8(Experiment(tb).path("WAN 63ms"), 0);
+  const auto p25 = run8(Experiment(tb).path("WAN 63ms"), 25);
+  const auto p15 = run8(Experiment(tb).path("WAN 63ms"), 15);
+  EXPECT_GT(p0.avg_retransmits, p25.avg_retransmits * 3);
+  EXPECT_GT(p25.avg_retransmits, p15.avg_retransmits);
+  // Moderate pacing beats unpaced on the WAN (136 vs 127 in the paper).
+  EXPECT_GT(p25.avg_gbps, p0.avg_gbps);
+  EXPECT_NEAR(p15.avg_gbps, 115.0, 6.0);
+}
+
+TEST(TableII, InterferenceAbove120G) {
+  // Paper: flows interfere "any time the total bandwidth attempted is over
+  // 120 Gbps" — visible as retransmits appearing between 15 and 20 G/flow.
+  const auto tb = harness::esnet(kern::KernelVersion::V5_15);
+  const auto p15 = run8(Experiment(tb).path("WAN 63ms"), 15);  // 120G attempted
+  const auto p20 = run8(Experiment(tb).path("WAN 63ms"), 20);  // 160G attempted
+  EXPECT_LT(p15.avg_retransmits, 200.0);
+  EXPECT_GT(p20.avg_retransmits, 500.0);
+}
+
+// ---- Table III: production DTNs with 802.3x flow control ----
+
+TEST(TableIII, ThroughputGrid) {
+  const auto tb = harness::esnet_production();
+  const auto p0 = run8(Experiment(tb).path("production 63ms"), 0);
+  const auto p15 = run8(Experiment(tb).path("production 63ms"), 15);
+  const auto p12 = run8(Experiment(tb).path("production 63ms"), 12);
+  const auto p10 = run8(Experiment(tb).path("production 63ms"), 10);
+  // "pacing ... but the average throughput is not impacted" (98/98/93/79).
+  EXPECT_NEAR(p0.avg_gbps, 96.0, 5.0);
+  EXPECT_NEAR(p15.avg_gbps, 96.0, 5.0);
+  EXPECT_NEAR(p12.avg_gbps, 93.0, 4.0);
+  EXPECT_NEAR(p10.avg_gbps, 79.0, 3.0);
+}
+
+TEST(TableIII, PacingNarrowsPerFlowRange) {
+  const auto tb = harness::esnet_production();
+  const auto p0 = run8(Experiment(tb).path("production 63ms"), 0);
+  const auto p10 = run8(Experiment(tb).path("production 63ms"), 10);
+  // Unpaced: 9-16 Gbps per flow; paced to 10: exactly 10-10.
+  EXPECT_GT(p0.flow_max_gbps - p0.flow_min_gbps, 3.0);
+  EXPECT_NEAR(p10.flow_min_gbps, 10.0, 0.6);
+  EXPECT_NEAR(p10.flow_max_gbps, 10.0, 0.6);
+}
+
+TEST(TableIII, FlowControlPreventsNicDrops) {
+  const auto tb = harness::esnet_production();
+  flow::TransferConfig cfg;
+  cfg.sender = tb.sender;
+  cfg.receiver = tb.receiver;
+  cfg.path = tb.paths[0];
+  cfg.streams = 8;
+  cfg.link_flow_control = true;
+  cfg.duration = units::seconds(10);
+  cfg.seed = 5;
+  const auto res = flow::run_transfer(cfg);
+  EXPECT_DOUBLE_EQ(res.dropped_bytes_nic, 0.0);
+}
+
+// ---- Figs. 10/11 shapes ----
+
+TEST(Fig10, ZerocopyPacingNearMaxTput) {
+  // ESnet, kernel 6.8: zc+pacing approaches min(8 x pace, 200G NIC).
+  const auto tb = harness::esnet(kern::KernelVersion::V6_8);
+  const auto p25 = run8(Experiment(tb).zerocopy(), 25);
+  EXPECT_GT(p25.avg_gbps, 170.0);  // "nearly the maximum possible"
+  const auto p15 = run8(Experiment(tb).zerocopy(), 15);
+  EXPECT_NEAR(p15.avg_gbps, 120.0, 5.0);
+  EXPECT_LT(p15.stdev_gbps, p25.stdev_gbps + 1.0);  // deeper pacing, steadier
+}
+
+TEST(Fig11, AmLightBaselineCpuLimited) {
+  // Default 8 streams: ~62 Gbps LAN dropping toward ~50 at 104 ms.
+  const auto lan = run8(Experiment(harness::amlight()), 0);
+  const auto wan = run8(Experiment(harness::amlight()).path("WAN 104ms"), 0);
+  EXPECT_NEAR(lan.avg_gbps, 62.0, 8.0);
+  EXPECT_LT(wan.avg_gbps, lan.avg_gbps);
+  EXPECT_GT(wan.avg_gbps, 40.0);
+}
+
+TEST(Fig11, DeeperPacingSmallerStdev) {
+  const auto p10 =
+      run8(Experiment(harness::amlight()).path("WAN 54ms").zerocopy(), 10);
+  const auto p9 = run8(Experiment(harness::amlight()).path("WAN 54ms").zerocopy(), 9);
+  EXPECT_LE(p9.stdev_gbps, p10.stdev_gbps + 0.5);
+}
+
+TEST(Fig11, UnpacedZerocopySuffersFromBackgroundTraffic) {
+  // AmLight WAN carries ~16G of production traffic: unpaced zerocopy cannot
+  // reach the paced maximum (unlike on the idle ESnet testbed).
+  const auto unpaced =
+      run8(Experiment(harness::amlight()).path("WAN 54ms").zerocopy(), 0);
+  const auto paced =
+      run8(Experiment(harness::amlight()).path("WAN 54ms").zerocopy(), 9);
+  EXPECT_LT(unpaced.avg_gbps, paced.avg_gbps * 1.02);
+  EXPECT_GT(unpaced.avg_retransmits, paced.avg_retransmits);
+}
+
+}  // namespace
+}  // namespace dtnsim

@@ -1,0 +1,212 @@
+// Integration tests: single-stream paper anchors (Figs. 5-9, 12, 13).
+//
+// Shorter runs (20 s x 3) than the paper's 60 s x 10 keep CI fast; the
+// tolerances absorb the extra ramp-up share.
+#include <gtest/gtest.h>
+
+#include "dtnsim/core/dtnsim.hpp"
+
+namespace dtnsim {
+namespace {
+
+harness::TestResult quick(Experiment e) {
+  return e.duration_sec(20).repeats(3).run();
+}
+
+// ---- Fig. 5 / Fig. 6 anchors ----
+
+TEST(SingleStream, IntelLanDefaultNear55) {
+  const auto r = quick(Experiment(harness::amlight()));
+  EXPECT_NEAR(r.avg_gbps, 55.0, 4.0);
+}
+
+TEST(SingleStream, AmdLanDefaultNear42) {
+  const auto r = quick(Experiment(harness::esnet()));
+  EXPECT_NEAR(r.avg_gbps, 42.0, 3.5);
+}
+
+TEST(SingleStream, IntelBeatsAmdOnLan) {
+  // The paper's AVX-512 / L3 architecture observation.
+  const auto intel = quick(Experiment(harness::amlight()));
+  const auto amd = quick(Experiment(harness::esnet()));
+  EXPECT_GT(intel.avg_gbps, amd.avg_gbps * 1.15);
+}
+
+TEST(SingleStream, WanDefaultWellBelowLan) {
+  const auto lan = quick(Experiment(harness::amlight()));
+  const auto wan = quick(Experiment(harness::amlight()).path("WAN 104ms"));
+  EXPECT_LT(wan.avg_gbps, lan.avg_gbps * 0.75);
+}
+
+TEST(SingleStream, ZerocopyAloneDoesNotHelp) {
+  const auto def = quick(Experiment(harness::amlight()).path("WAN 54ms"));
+  const auto zc = quick(Experiment(harness::amlight()).path("WAN 54ms").zerocopy());
+  EXPECT_NEAR(zc.avg_gbps, def.avg_gbps, def.avg_gbps * 0.18);
+}
+
+TEST(SingleStream, ZerocopyPlusPacingUpTo35PercentOnWan) {
+  const auto def = quick(Experiment(harness::amlight()).path("WAN 54ms"));
+  const auto zcp =
+      quick(Experiment(harness::amlight()).path("WAN 54ms").zerocopy().pacing_gbps(50));
+  const double gain = zcp.avg_gbps / def.avg_gbps;
+  EXPECT_GT(gain, 1.20);
+  EXPECT_LT(gain, 1.55);
+  EXPECT_NEAR(zcp.avg_gbps, 50.0, 4.0);  // pinned at the pacing rate
+}
+
+TEST(SingleStream, ZerocopyPacingFlatAcrossRtt) {
+  // "with proper tuning, single stream throughput is identical on all paths"
+  double prev = -1;
+  for (const char* path : {"WAN 25ms", "WAN 54ms"}) {
+    const auto r = quick(Experiment(harness::amlight())
+                             .path(path)
+                             .zerocopy()
+                             .pacing_gbps(50)
+                             .optmem_max(3405376));
+    EXPECT_NEAR(r.avg_gbps, 49.0, 2.5) << path;
+    if (prev > 0) {
+      EXPECT_NEAR(r.avg_gbps, prev, 2.0);
+    }
+    prev = r.avg_gbps;
+  }
+}
+
+TEST(SingleStream, BigTcpModestGain) {
+  const auto def = quick(Experiment(harness::amlight()));
+  const auto big = quick(Experiment(harness::amlight()).big_tcp(true));
+  const double gain = big.avg_gbps / def.avg_gbps;
+  EXPECT_GT(gain, 1.05);
+  EXPECT_LT(gain, 1.25);  // paper: "up to 16%"
+}
+
+TEST(SingleStream, BigTcpNoopOn515) {
+  const auto def = quick(Experiment(harness::amlight()).kernel(kern::KernelVersion::V5_15));
+  const auto big = quick(
+      Experiment(harness::amlight()).kernel(kern::KernelVersion::V5_15).big_tcp(true));
+  EXPECT_NEAR(big.avg_gbps, def.avg_gbps, def.avg_gbps * 0.03);
+}
+
+TEST(SingleStream, EsnetZerocopyPacingRecoversWan) {
+  // Fig. 6: 85% improvement on the ESnet WAN, matching LAN.
+  const auto def = quick(Experiment(harness::esnet()).path("WAN 63ms"));
+  const auto zcp =
+      quick(Experiment(harness::esnet()).path("WAN 63ms").zerocopy().pacing_gbps(40));
+  EXPECT_GT(zcp.avg_gbps / def.avg_gbps, 1.5);
+  const auto lan = quick(Experiment(harness::esnet()));
+  EXPECT_NEAR(zcp.avg_gbps, lan.avg_gbps, 5.0);  // "matching the LAN test"
+}
+
+// ---- Fig. 7 / Fig. 8: CPU shapes ----
+
+TEST(CpuShape, ZerocopyPacingDropsSenderCpu) {
+  const auto def = quick(Experiment(harness::amlight()).path("WAN 25ms"));
+  const auto zcp = quick(Experiment(harness::amlight())
+                             .path("WAN 25ms")
+                             .zerocopy()
+                             .pacing_gbps(50)
+                             .optmem_max(3405376));
+  EXPECT_GT(def.snd_cpu_pct, 82.0);          // sender-bound default WAN
+  EXPECT_LT(zcp.snd_cpu_pct, def.snd_cpu_pct * 0.6);
+  EXPECT_GT(zcp.rcv_cpu_pct, zcp.snd_cpu_pct);  // receiver becomes the bottleneck
+}
+
+// ---- Fig. 9: optmem sweep ----
+
+TEST(Optmem, DefaultOptmemCripplesWanZerocopy) {
+  const auto small = quick(Experiment(harness::amlight())
+                               .kernel(kern::KernelVersion::V6_5)
+                               .path("WAN 25ms")
+                               .zerocopy()
+                               .pacing_gbps(50)
+                               .optmem_max(20480));
+  EXPECT_LT(small.avg_gbps, 38.0);     // far below the 50G pacing rate
+  EXPECT_GT(small.snd_cpu_pct, 90.0);  // "completely CPU limited on the sender"
+}
+
+TEST(Optmem, MonotoneAcrossPaperValues) {
+  double prev = 0;
+  for (const double om : {20480.0, 1048576.0, 3405376.0}) {
+    const auto r = quick(Experiment(harness::amlight())
+                             .kernel(kern::KernelVersion::V6_5)
+                             .path("WAN 104ms")
+                             .zerocopy()
+                             .pacing_gbps(50)
+                             .optmem_max(om));
+    EXPECT_GE(r.avg_gbps, prev - 1.0);
+    prev = r.avg_gbps;
+  }
+  EXPECT_GT(prev, 42.0);  // 3.25 MB covers the 104 ms path
+}
+
+TEST(Optmem, LanUnaffectedBySmallOptmem) {
+  // Tiny in-flight windows on the LAN: even 20 KB suffices.
+  const auto r = quick(Experiment(harness::amlight())
+                           .zerocopy()
+                           .pacing_gbps(50)
+                           .optmem_max(20480));
+  EXPECT_GT(r.avg_gbps, 44.0);
+}
+
+TEST(Optmem, BigOptmemCutsSenderCpu) {
+  const auto mid = quick(Experiment(harness::amlight())
+                             .path("WAN 104ms")
+                             .zerocopy()
+                             .pacing_gbps(50)
+                             .optmem_max(1048576));
+  const auto big = quick(Experiment(harness::amlight())
+                             .path("WAN 104ms")
+                             .zerocopy()
+                             .pacing_gbps(50)
+                             .optmem_max(3405376));
+  EXPECT_LT(big.snd_cpu_pct, mid.snd_cpu_pct * 0.75);
+}
+
+// ---- Figs. 12/13: kernel versions ----
+
+TEST(Kernels, AmdGainsMatchPaper) {
+  const auto r515 = quick(Experiment(harness::esnet()).kernel(kern::KernelVersion::V5_15));
+  const auto r65 = quick(Experiment(harness::esnet()).kernel(kern::KernelVersion::V6_5));
+  const auto r68 = quick(Experiment(harness::esnet()).kernel(kern::KernelVersion::V6_8));
+  EXPECT_NEAR(r65.avg_gbps / r515.avg_gbps, 1.12, 0.05);  // Fig. 12: +12%
+  EXPECT_NEAR(r68.avg_gbps / r65.avg_gbps, 1.17, 0.05);   // Fig. 12: +17%
+}
+
+TEST(Kernels, IntelLan27PercentTotal) {
+  const auto r515 =
+      quick(Experiment(harness::amlight()).kernel(kern::KernelVersion::V5_15));
+  const auto r68 = quick(Experiment(harness::amlight()).kernel(kern::KernelVersion::V6_8));
+  EXPECT_NEAR(r68.avg_gbps / r515.avg_gbps, 1.27, 0.06);  // Fig. 13
+}
+
+TEST(Kernels, WanPacedInsensitiveToKernel) {
+  // Fig. 13: "Single stream WAN performance was the same for all kernels",
+  // pinned at the 50G pacing rate (receiver relieved via --skip-rx-copy).
+  double prev = -1;
+  for (const auto k : {kern::KernelVersion::V5_15, kern::KernelVersion::V6_8}) {
+    const auto r = quick(Experiment(harness::amlight())
+                             .kernel(k)
+                             .path("WAN 25ms")
+                             .zerocopy()
+                             .skip_rx_copy()
+                             .pacing_gbps(50)
+                             .optmem_max(3405376));
+    if (prev > 0) {
+      EXPECT_NEAR(r.avg_gbps, prev, 2.5);
+    }
+    prev = r.avg_gbps;
+  }
+}
+
+// ---- Fig. 4: VM vs bare metal ----
+
+TEST(Vm, TunedVmWithinStddevOfBareMetal) {
+  for (const char* path : {"LAN", "WAN 54ms"}) {
+    const auto bm = quick(Experiment(harness::amlight_baremetal()).path(path));
+    const auto vm = quick(
+        Experiment(harness::amlight_vm(kern::KernelVersion::V5_10)).path(path));
+    EXPECT_NEAR(vm.avg_gbps, bm.avg_gbps, bm.avg_gbps * 0.08) << path;
+  }
+}
+
+}  // namespace
+}  // namespace dtnsim

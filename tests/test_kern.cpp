@@ -1,0 +1,177 @@
+// Unit tests: kernel profiles, sysctls, SKB geometry, GSO/GRO.
+#include <gtest/gtest.h>
+
+#include "dtnsim/kern/gro.hpp"
+#include "dtnsim/kern/gso.hpp"
+#include "dtnsim/kern/skb.hpp"
+#include "dtnsim/kern/sysctl.hpp"
+#include "dtnsim/kern/version.hpp"
+
+namespace dtnsim::kern {
+namespace {
+
+TEST(KernelProfile, FeatureGatesMatchHistory) {
+  const auto v510 = kernel_profile(KernelVersion::V5_10);
+  const auto v515 = kernel_profile(KernelVersion::V5_15);
+  const auto v65 = kernel_profile(KernelVersion::V6_5);
+  const auto v68 = kernel_profile(KernelVersion::V6_8);
+  const auto v611 = kernel_profile(KernelVersion::V6_11);
+
+  // MSG_ZEROCOPY since 4.17: all tested kernels have it.
+  for (const auto* k : {&v510, &v515, &v65, &v68, &v611}) {
+    EXPECT_TRUE(k->supports_msg_zerocopy) << k->name;
+  }
+  // BIG TCP: IPv6 since 5.19, IPv4 since 6.3.
+  EXPECT_FALSE(v510.supports_big_tcp_ipv6);
+  EXPECT_FALSE(v515.supports_big_tcp_ipv6);
+  EXPECT_FALSE(v515.supports_big_tcp_ipv4);
+  EXPECT_TRUE(v65.supports_big_tcp_ipv4);
+  EXPECT_TRUE(v68.supports_big_tcp_ipv4);
+  // HW GRO (SHAMPO re-enable): 6.11.
+  EXPECT_FALSE(v68.supports_hw_gro);
+  EXPECT_TRUE(v611.supports_hw_gro);
+}
+
+TEST(KernelProfile, StackFactorsMatchPaperGains) {
+  const auto v515 = kernel_profile(KernelVersion::V5_15);
+  const auto v65 = kernel_profile(KernelVersion::V6_5);
+  const auto v68 = kernel_profile(KernelVersion::V6_8);
+  // AMD: +12% 5.15 -> 6.5, +17% 6.5 -> 6.8 (paper Fig. 12).
+  EXPECT_NEAR(v515.stack_factor_amd / v65.stack_factor_amd, 1.12, 0.01);
+  EXPECT_NEAR(v65.stack_factor_amd / v68.stack_factor_amd, 1.17, 0.01);
+  // Intel: ~27% total 5.15 -> 6.8 on LAN (Fig. 13).
+  EXPECT_NEAR(v515.stack_factor_intel / v68.stack_factor_intel, 1.27, 0.02);
+}
+
+TEST(KernelProfile, CustomFragsBuild) {
+  auto k = custom_kernel_with_frags(kernel_profile(KernelVersion::V6_8), 45);
+  EXPECT_EQ(k.max_skb_frags, 45);
+  EXPECT_TRUE(k.custom_build);
+  EXPECT_NE(k.name.find("frags45"), std::string::npos);
+}
+
+TEST(Sysctl, PaperTuningValues) {
+  const auto t = SysctlConfig::fasterdata_tuned();
+  EXPECT_DOUBLE_EQ(t.tcp_rmem_max, 2147483647.0);
+  EXPECT_DOUBLE_EQ(t.tcp_wmem_max, 2147483647.0);
+  EXPECT_EQ(t.default_qdisc, QdiscKind::Fq);
+  EXPECT_TRUE(t.tcp_no_metrics_save);
+  EXPECT_DOUBLE_EQ(t.optmem_max, 1048576.0);
+}
+
+TEST(Sysctl, DefaultsAreStock) {
+  const auto d = SysctlConfig::linux_defaults();
+  EXPECT_EQ(d.default_qdisc, QdiscKind::FqCodel);
+  EXPECT_DOUBLE_EQ(d.optmem_max, 20480.0);
+  // Stock windows cannot fill a 100G WAN pipe.
+  EXPECT_LT(d.max_send_window_bytes(), 10e6);
+}
+
+TEST(Skb, LegacyCapsWithoutBigTcp) {
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, 150 * 1024);
+  EXPECT_DOUBLE_EQ(caps.gso_max_bytes, kLegacyGsoMax);
+}
+
+TEST(Skb, BigTcpRequiresKernelSupport) {
+  // 5.15 has no BIG TCP for IPv4: setting it is a no-op.
+  const auto old_caps = skb_caps(kernel_profile(KernelVersion::V5_15), true, 150 * 1024);
+  EXPECT_DOUBLE_EQ(old_caps.gso_max_bytes, kLegacyGsoMax);
+  const auto new_caps = skb_caps(kernel_profile(KernelVersion::V6_8), true, 150 * 1024);
+  EXPECT_DOUBLE_EQ(new_caps.gso_max_bytes, 150.0 * 1024);
+}
+
+TEST(Skb, BigTcpClampedTo512K) {
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), true, 10e6);
+  EXPECT_DOUBLE_EQ(caps.gso_max_bytes, kBigTcpGsoMaxIpv4);
+}
+
+TEST(Skb, ZerocopyFragLimitDefeatsBigTcp) {
+  // The paper's central BIG TCP caveat: zerocopy pins 4K pages, one per
+  // frag, so MAX_SKB_FRAGS=17 caps a zerocopy super-packet at ~64K even
+  // with gso_max at 150K.
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), true, 150 * 1024);
+  const double copy_gso = effective_gso_bytes(caps, false, 9000);
+  const double zc_gso = effective_gso_bytes(caps, true, 9000);
+  EXPECT_DOUBLE_EQ(copy_gso, 150.0 * 1024);
+  EXPECT_DOUBLE_EQ(zc_gso, 16 * 4096.0);  // (17-1) pinned pages
+}
+
+TEST(Skb, Frags45UnlocksBigTcpPlusZerocopy) {
+  auto k = custom_kernel_with_frags(kernel_profile(KernelVersion::V6_8), 45);
+  const auto caps = skb_caps(k, true, 180 * 1024);
+  EXPECT_DOUBLE_EQ(effective_gso_bytes(caps, true, 9000), 44 * 4096.0);  // ~180K
+}
+
+TEST(Skb, GsoNeverBelowMtu) {
+  SkbCaps caps;
+  caps.max_skb_frags = 2;
+  EXPECT_GE(effective_gso_bytes(caps, true, 9000), 9000.0);
+}
+
+TEST(Skb, SkbsForSendCeil) {
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, 0);
+  EXPECT_EQ(skbs_for_send(65536.0, caps, false, 9000), 1);
+  EXPECT_EQ(skbs_for_send(65537.0, caps, false, 9000), 2);
+  EXPECT_EQ(skbs_for_send(0.0, caps, false, 9000), 0);
+}
+
+TEST(Gso, CountsConserveBytes) {
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, 0);
+  const auto segs = gso_segment(1e6, caps, false, 9000);
+  double total = 0;
+  for (double s : segs) {
+    EXPECT_LE(s, 65536.0);
+    total += s;
+  }
+  EXPECT_DOUBLE_EQ(total, 1e6);
+}
+
+TEST(Gso, WireSegmentsUseMss) {
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, 0);
+  const auto c = gso_counts(8960.0 * 100, caps, false, 9000);
+  EXPECT_NEAR(c.wire_segments, 100.0, 1e-9);
+}
+
+TEST(Gso, BigTcpReducesSuperpacketCount) {
+  const auto stock = skb_caps(kernel_profile(KernelVersion::V6_8), false, 0);
+  const auto big = skb_caps(kernel_profile(KernelVersion::V6_8), true, 150 * 1024);
+  const double bytes = 10e6;
+  EXPECT_GT(gso_counts(bytes, stock, false, 9000).superpackets,
+            gso_counts(bytes, big, false, 9000).superpackets * 2.0);
+}
+
+TEST(Gro, FluidCountsMatchGeometry) {
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, 0);
+  const auto c = gro_counts(655360.0, caps, 9000);
+  EXPECT_NEAR(c.aggregates, 10.0, 1e-9);
+}
+
+TEST(Gro, EngineAggregatesSegments) {
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, 0);
+  GroEngine gro(caps, 9000);
+  int aggregates = 0;
+  double delivered = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (auto agg = gro.add_segment(8960.0)) {
+      ++aggregates;
+      delivered += *agg;
+    }
+  }
+  if (auto tail = gro.flush()) delivered += *tail;
+  EXPECT_DOUBLE_EQ(delivered, 896000.0);
+  // 8 segments (71680 B) complete each aggregate: 100 segments -> 12 full.
+  EXPECT_EQ(aggregates, 12);
+  EXPECT_FALSE(gro.flush().has_value());  // nothing pending after flush
+}
+
+TEST(Gro, FlushReturnsPartial) {
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, 0);
+  GroEngine gro(caps, 9000);
+  EXPECT_FALSE(gro.add_segment(100.0).has_value());
+  const auto out = gro.flush();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_DOUBLE_EQ(*out, 100.0);
+}
+
+}  // namespace
+}  // namespace dtnsim::kern

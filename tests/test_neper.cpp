@@ -1,0 +1,108 @@
+// Unit tests: the neper-like tool model.
+#include <gtest/gtest.h>
+
+#include "dtnsim/app/iperf.hpp"
+#include "dtnsim/app/neper.hpp"
+#include "dtnsim/harness/testbeds.hpp"
+
+namespace dtnsim::app {
+namespace {
+
+NeperReport run_neper(const NeperOptions& opts) {
+  const auto tb = harness::esnet();
+  return NeperTool().run(tb.sender, tb.receiver, tb.lan(), opts);
+}
+
+TEST(Neper, BasicStreamRuns) {
+  NeperOptions o;
+  o.test_length_sec = 5;
+  const auto rep = run_neper(o);
+  EXPECT_GT(rep.throughput_gbps, 30.0);
+  EXPECT_EQ(rep.flow_gbps.size(), 1u);
+}
+
+TEST(Neper, WarmupExcluded) {
+  // With a long warm-up relative to the run, the reported (post-warm-up)
+  // rate exceeds the whole-run average, which includes slow start.
+  const auto tb = harness::esnet();
+  NeperOptions o;
+  o.test_length_sec = 4;
+  o.warmup_sec = 2;
+  const auto rep = NeperTool().run(tb.sender, tb.receiver,
+                                   tb.path_named("WAN 63ms"), o);
+  flow::TransferConfig cfg;
+  cfg.sender = tb.sender;
+  cfg.receiver = tb.receiver;
+  cfg.path = tb.path_named("WAN 63ms");
+  cfg.duration = units::seconds(6);
+  cfg.seed = 1;
+  const double whole_run = units::to_gbps(flow::run_transfer(cfg).throughput_bps);
+  EXPECT_GT(rep.throughput_gbps, whole_run);
+}
+
+TEST(Neper, MultiFlowWithPacing) {
+  NeperOptions o;
+  o.num_flows = 4;
+  o.max_pacing_rate_bps = units::gbps(8);
+  o.test_length_sec = 5;
+  const auto rep = run_neper(o);
+  EXPECT_EQ(rep.flow_gbps.size(), 4u);
+  EXPECT_NEAR(rep.throughput_gbps, 32.0, 3.0);
+  for (double g : rep.flow_gbps) EXPECT_LE(g, 8.2);
+}
+
+TEST(Neper, ZerocopyCutsLocalCpu) {
+  NeperOptions copy;
+  copy.max_pacing_rate_bps = units::gbps(30);
+  copy.test_length_sec = 5;
+  const auto a = run_neper(copy);
+  NeperOptions zc = copy;
+  zc.zerocopy = true;
+  const auto b = run_neper(zc);
+  EXPECT_LT(b.local_cpu_pct, a.local_cpu_pct * 0.6);
+}
+
+TEST(Neper, SkipRxCopyCutsRemoteCpu) {
+  NeperOptions o;
+  o.test_length_sec = 5;
+  const auto with_copy = run_neper(o);
+  o.skip_rx_copy = true;
+  const auto no_copy = run_neper(o);
+  EXPECT_LT(no_copy.remote_cpu_pct, with_copy.remote_cpu_pct);
+}
+
+TEST(Neper, KeyValueOutputShape) {
+  NeperOptions o;
+  o.num_flows = 2;
+  o.test_length_sec = 3;
+  const auto rep = run_neper(o);
+  const std::string kv = rep.to_key_value();
+  EXPECT_NE(kv.find("throughput_Mbps="), std::string::npos);
+  EXPECT_NE(kv.find("num_flows=2"), std::string::npos);
+  EXPECT_NE(kv.find("flow_0_Mbps="), std::string::npos);
+  EXPECT_NE(kv.find("flow_1_Mbps="), std::string::npos);
+  EXPECT_NE(kv.find("local_cpu_percent="), std::string::npos);
+}
+
+TEST(Neper, AgreesWithIperfOnHeadlineResult) {
+  // Tool-independence check: neper and the iperf3 model should agree on the
+  // zerocopy+pacing WAN experiment within a few percent.
+  const auto tb = harness::amlight();
+  NeperOptions n;
+  n.zerocopy = true;
+  n.max_pacing_rate_bps = units::gbps(50);
+  n.test_length_sec = 15;
+  n.warmup_sec = 2;
+  const auto neper = NeperTool().run(tb.sender, tb.receiver,
+                                     tb.path_named("WAN 54ms"), n);
+  IperfOptions i;
+  i.zerocopy = true;
+  i.fq_rate_bps = units::gbps(50);
+  i.duration_sec = 17;
+  const auto iperf = IperfTool().run(tb.sender, tb.receiver,
+                                     tb.path_named("WAN 54ms"), i);
+  EXPECT_NEAR(neper.throughput_gbps, iperf.sum_received_gbps, 3.0);
+}
+
+}  // namespace
+}  // namespace dtnsim::app

@@ -1,0 +1,142 @@
+// Unit tests: discrete-event engine and event queue.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dtnsim/sim/engine.hpp"
+
+namespace dtnsim::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  Nanos t = 0;
+  while (auto fn = q.pop(&t)) fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.push(100, [&order, i] { order.push_back(i); });
+  Nanos t = 0;
+  while (auto fn = q.pop(&t)) fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  auto h = q.push(10, [&] { fired = true; });
+  h.cancel();
+  EXPECT_TRUE(q.empty());
+  Nanos t = 0;
+  EXPECT_FALSE(q.pop(&t));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelOnlyAffectsTarget) {
+  EventQueue q;
+  int fired = 0;
+  q.push(10, [&] { ++fired; });
+  auto h = q.push(20, [&] { fired += 100; });
+  q.push(30, [&] { ++fired; });
+  h.cancel();
+  Nanos t = 0;
+  while (auto fn = q.pop(&t)) fn();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  auto h1 = q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  h1.cancel();
+  EXPECT_TRUE(!q.empty());
+  Nanos t = 0;
+  q.pop(&t);
+  EXPECT_EQ(t, 2);
+}
+
+TEST(Engine, NowAdvancesWithEvents) {
+  Engine e;
+  Nanos seen = -1;
+  e.schedule(1000, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_EQ(seen, 1000);
+  EXPECT_EQ(e.events_executed(), 1u);
+}
+
+TEST(Engine, ScheduleAtAbsoluteTime) {
+  Engine e;
+  std::vector<Nanos> times;
+  e.schedule_at(500, [&] { times.push_back(e.now()); });
+  e.schedule_at(100, [&] { times.push_back(e.now()); });
+  e.run();
+  EXPECT_EQ(times, (std::vector<Nanos>{100, 500}));
+}
+
+TEST(Engine, NegativeDelayClampsToNow) {
+  Engine e;
+  e.schedule(100, [&] {
+    e.schedule(-50, [&] { EXPECT_EQ(e.now(), 100); });
+  });
+  e.run();
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine e;
+  int fired = 0;
+  e.schedule(10, [&] { ++fired; });
+  e.schedule(20, [&] { ++fired; });
+  e.schedule(30, [&] { ++fired; });
+  e.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.now(), 20);
+  e.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, RunUntilAdvancesClockEvenWhenIdle) {
+  Engine e;
+  e.run_until(5000);
+  EXPECT_EQ(e.now(), 5000);
+}
+
+TEST(Engine, SelfReschedulingChain) {
+  Engine e;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) e.schedule(100, tick);
+  };
+  e.schedule(100, tick);
+  e.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(e.now(), 1000);
+}
+
+TEST(Engine, StepExecutesBoundedCount) {
+  Engine e;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) e.schedule(i + 1, [&] { ++fired; });
+  EXPECT_EQ(e.step(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(e.step(10), 2u);
+}
+
+TEST(Engine, EventsScheduledInsideCallbacksRun) {
+  Engine e;
+  bool inner = false;
+  e.schedule(10, [&] { e.schedule(10, [&] { inner = true; }); });
+  e.run();
+  EXPECT_TRUE(inner);
+  EXPECT_EQ(e.now(), 20);
+}
+
+}  // namespace
+}  // namespace dtnsim::sim

@@ -1,0 +1,228 @@
+// Unit tests: util module (units, rng, stats, json, table, csv, strfmt).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "dtnsim/util/csv.hpp"
+#include "dtnsim/util/json.hpp"
+#include "dtnsim/util/rng.hpp"
+#include "dtnsim/util/stats.hpp"
+#include "dtnsim/util/strfmt.hpp"
+#include "dtnsim/util/table.hpp"
+#include "dtnsim/util/units.hpp"
+
+namespace dtnsim {
+namespace {
+
+TEST(Units, TimeConversions) {
+  EXPECT_EQ(units::seconds(1.0), 1'000'000'000);
+  EXPECT_EQ(units::millis(1.0), 1'000'000);
+  EXPECT_EQ(units::micros(1.0), 1'000);
+  EXPECT_DOUBLE_EQ(units::to_seconds(units::seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(units::to_millis(units::millis(104.0)), 104.0);
+}
+
+TEST(Units, RateConversions) {
+  EXPECT_DOUBLE_EQ(units::gbps(100.0), 100e9);
+  EXPECT_DOUBLE_EQ(units::to_gbps(units::gbps(42.0)), 42.0);
+  EXPECT_DOUBLE_EQ(units::mbps(1.0), 1e6);
+}
+
+TEST(Units, BytesAtRate) {
+  // 8 Gbps for 1 second = 1 GB.
+  EXPECT_DOUBLE_EQ(units::bytes_at(8e9, 1.0), 1e9);
+  EXPECT_DOUBLE_EQ(units::rate_of(1e9, 1.0), 8e9);
+  EXPECT_DOUBLE_EQ(units::rate_of(1e9, 0.0), 0.0);
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(units::format_rate(55.0e9), "55.00 Gbps");
+  EXPECT_EQ(units::format_rate(120.0e6), "120.00 Mbps");
+  EXPECT_EQ(units::format_bytes(1048576.0), "1.00 MiB");
+  EXPECT_EQ(units::format_time(units::millis(104)), "104.00 ms");
+}
+
+TEST(Strfmt, Formats) {
+  EXPECT_EQ(strfmt("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values reachable
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(99);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng r(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 20001; ++i) xs.push_back(r.lognormal(4.0, 0.5));
+  EXPECT_NEAR(percentile_of(xs, 50.0), 4.0, 0.15);
+}
+
+TEST(Rng, SubstreamsIndependent) {
+  Rng base(42);
+  Rng s0 = base.substream(0);
+  Rng s1 = base.substream(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += s0.next() == s1.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, SubstreamReproducible) {
+  Rng a(42), b(42);
+  Rng sa = a.substream(3), sb = b.substream(3);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(sa.next(), sb.next());
+}
+
+TEST(RunningStats, Basics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptySafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng r(11);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.normal(0, 1);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile_of({}, 50), 0.0);
+}
+
+TEST(Json, ScalarsAndNesting) {
+  Json j = Json::object();
+  j["a"] = 1;
+  j["b"] = "text";
+  j["c"] = true;
+  j["nested"]["x"] = 2.5;
+  EXPECT_EQ(j.dump(), R"({"a":1,"b":"text","c":true,"nested":{"x":2.5}})");
+}
+
+TEST(Json, Arrays) {
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  EXPECT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr.dump(), R"([1,"two"])");
+}
+
+TEST(Json, Escaping) {
+  Json j = Json::object();
+  j["k"] = "line\n\"quote\"\\";
+  EXPECT_EQ(j.dump(), "{\"k\":\"line\\n\\\"quote\\\"\\\\\"}");
+}
+
+TEST(Json, IntegersStayIntegral) {
+  Json j = Json::object();
+  j["n"] = 1048576;
+  EXPECT_EQ(j.dump(), R"({"n":1048576})");
+}
+
+TEST(Json, PrettyPrint) {
+  Json j = Json::object();
+  j["a"] = 1;
+  const std::string s = j.dump(2);
+  EXPECT_NE(s.find("{\n  \"a\": 1\n}"), std::string::npos);
+}
+
+TEST(Table, AsciiLayout) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, MarkdownLayout) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string out = t.to_markdown();
+  EXPECT_NE(out.find("| a | b |"), std::string::npos);
+  EXPECT_NE(out.find("|---|---|"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NE(t.to_ascii().find("| only |"), std::string::npos);
+}
+
+TEST(Csv, EscapesFields) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(Csv, RoundTripContent) {
+  CsvWriter w({"x", "y"});
+  w.add_row({"1", "2"});
+  w.add_row({"3", "4,5"});
+  EXPECT_EQ(w.str(), "x,y\n1,2\n3,\"4,5\"\n");
+}
+
+}  // namespace
+}  // namespace dtnsim

@@ -1,0 +1,61 @@
+// dtnsim-advisor: audit a host/testbed configuration against the paper's
+// §V recommendations.
+//
+//   $ dtnsim-advisor --testbed esnet --path "WAN 63ms"
+//   $ dtnsim-advisor --stock          # what an untuned host looks like
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dtnsim/core/dtnsim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dtnsim;
+
+  std::string testbed = "esnet";
+  std::string path_name;
+  bool stock = false;
+  bool dtn_use_case = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--testbed" && i + 1 < argc) testbed = argv[++i];
+    else if (flag == "--path" && i + 1 < argc) path_name = argv[++i];
+    else if (flag == "--stock") stock = true;
+    else if (flag == "--dtn") dtn_use_case = true;
+    else if (flag == "-h" || flag == "--help") {
+      std::printf(
+          "dtnsim-advisor [--testbed amlight|esnet|production] [--path NAME]\n"
+          "               [--stock] [--dtn]\n"
+          "Audits the host tuning against the paper's recommendations\n"
+          "(--stock: audit an untuned host; --dtn: parallel-stream use case).\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  harness::Testbed tb;
+  if (testbed == "amlight") tb = harness::amlight();
+  else if (testbed == "esnet") tb = harness::esnet();
+  else if (testbed == "production") tb = harness::esnet_production();
+  else {
+    std::fprintf(stderr, "unknown testbed: %s\n", testbed.c_str());
+    return 2;
+  }
+  if (stock) {
+    tb.sender.tuning = host::TuningConfig::stock();
+    tb.sender.kernel = kern::kernel_profile(kern::KernelVersion::V5_15);
+  }
+  const auto& path = path_name.empty() ? tb.lan() : tb.path_named(path_name);
+
+  const auto advice = advise(tb.sender, path,
+                             dtn_use_case ? UseCase::ParallelStreamDtn
+                                          : UseCase::SingleFlowBenchmark,
+                             tb.link_flow_control);
+  std::printf("Host: %s (%s, kernel %s), path: %s\n\n%s", tb.sender.name.c_str(),
+              tb.sender.cpu.model.c_str(), tb.sender.kernel.name.c_str(),
+              path.name.c_str(), advice.to_string().c_str());
+  return advice.has_critical() ? 1 : 0;
+}

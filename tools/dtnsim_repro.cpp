@@ -1,0 +1,125 @@
+// dtnsim-repro: run the paper's experiments by id and export raw datasets.
+//
+//   $ dtnsim-repro --list
+//   $ dtnsim-repro fig5 table3 --out data/
+//   $ dtnsim-repro --all --quick --out data/
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dtnsim/harness/experiments.hpp"
+#include "dtnsim/harness/plot.hpp"
+#include "dtnsim/util/strfmt.hpp"
+
+namespace {
+
+// For figure experiments whose specs form a (series x path) grid, emit
+// <id>.dat/<id>.gp so `gnuplot <id>.gp` renders the paper-style bar chart.
+// Series and category labels are recovered from the "<series> <path>" spec
+// naming convention used by the registry.
+bool try_emit_figure(const dtnsim::harness::ExperimentDef& def,
+                     const std::vector<dtnsim::harness::TestSpec>& specs,
+                     const std::vector<dtnsim::harness::TestResult>& results,
+                     const std::string& out_dir) {
+  std::vector<std::string> categories;
+  std::vector<std::string> series;
+  for (const auto& spec : specs) {
+    const std::string cat = spec.path.name;
+    if (spec.name.size() <= cat.size() + 1 ||
+        spec.name.substr(spec.name.size() - cat.size()) != cat) {
+      return false;  // names don't follow "<series> <path>"
+    }
+    const std::string ser = spec.name.substr(0, spec.name.size() - cat.size() - 1);
+    if (std::find(categories.begin(), categories.end(), cat) == categories.end()) {
+      categories.push_back(cat);
+    }
+    if (std::find(series.begin(), series.end(), ser) == series.end()) {
+      series.push_back(ser);
+    }
+  }
+  if (categories.size() * series.size() != results.size()) return false;
+  try {
+    const auto fig = dtnsim::harness::figure_from_results(
+        def.id, def.title, categories, series, results);
+    return dtnsim::harness::write_figure(fig, out_dir);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dtnsim::harness;
+
+  std::vector<std::string> ids;
+  std::string out_dir = ".";
+  bool list = false, all = false, quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--list") list = true;
+    else if (flag == "--all") all = true;
+    else if (flag == "--quick") quick = true;
+    else if (flag == "--out" && i + 1 < argc) out_dir = argv[++i];
+    else if (flag == "-h" || flag == "--help") {
+      std::printf("dtnsim-repro [--list] [--all] [--quick] [--out DIR] [ids...]\n"
+                  "Runs the paper's experiments and writes <id>_raw.csv,\n"
+                  "<id>_summary.csv and <id>.json per experiment.\n"
+                  "--quick: 20 s x 3 repeats instead of the paper's 60 s x 10.\n");
+      return 0;
+    } else if (!flag.empty() && flag[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return 2;
+    } else {
+      ids.push_back(flag);
+    }
+  }
+
+  if (list || (ids.empty() && !all)) {
+    std::printf("%-18s %s\n", "id", "experiment");
+    for (const auto& def : experiment_registry()) {
+      std::printf("%-18s %s\n", def.id.c_str(), def.title.c_str());
+      std::printf("%-18s   expected: %s\n", "", def.paper_claim.c_str());
+    }
+    return 0;
+  }
+
+  if (all) {
+    ids.clear();
+    for (const auto& def : experiment_registry()) ids.push_back(def.id);
+  }
+
+  const double duration = quick ? 20.0 : 60.0;
+  const int repeats = quick ? 3 : 10;
+  int failures = 0;
+  for (const auto& id : ids) {
+    const auto* def = find_experiment(id);
+    if (!def) {
+      std::fprintf(stderr, "unknown experiment id: %s (see --list)\n", id.c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("running %-16s (%s) ...\n", def->id.c_str(), def->title.c_str());
+    const auto specs = def->specs();
+    Dataset ds(def->id);
+    std::vector<TestResult> results;
+    for (auto spec : specs) {
+      spec.iperf.duration_sec = duration;
+      if (spec.repeats == 10) spec.repeats = repeats;
+      results.push_back(run_test(spec));
+      ds.add(results.back());
+    }
+    if (!ds.write_to(out_dir)) {
+      std::fprintf(stderr, "  failed to write dataset to %s\n", out_dir.c_str());
+      ++failures;
+      continue;
+    }
+    const bool fig = try_emit_figure(*def, specs, results, out_dir);
+    std::printf("  wrote %s/%s_{raw,summary}.csv and %s.json (%zu tests)%s\n",
+                out_dir.c_str(), def->id.c_str(), def->id.c_str(), ds.size(),
+                fig ? dtnsim::strfmt(" + %s.dat/.gp", def->id.c_str()).c_str() : "");
+  }
+  return failures == 0 ? 0 : 1;
+}
