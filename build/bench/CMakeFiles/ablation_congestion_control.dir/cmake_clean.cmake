@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_congestion_control.dir/ablation_congestion_control.cpp.o"
+  "CMakeFiles/ablation_congestion_control.dir/ablation_congestion_control.cpp.o.d"
+  "ablation_congestion_control"
+  "ablation_congestion_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_congestion_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ring_size.dir/ablation_ring_size.cpp.o"
+  "CMakeFiles/ablation_ring_size.dir/ablation_ring_size.cpp.o.d"
+  "ablation_ring_size"
+  "ablation_ring_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ring_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

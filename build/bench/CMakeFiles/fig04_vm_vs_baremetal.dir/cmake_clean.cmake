@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_vm_vs_baremetal.dir/fig04_vm_vs_baremetal.cpp.o"
+  "CMakeFiles/fig04_vm_vs_baremetal.dir/fig04_vm_vs_baremetal.cpp.o.d"
+  "fig04_vm_vs_baremetal"
+  "fig04_vm_vs_baremetal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_vm_vs_baremetal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

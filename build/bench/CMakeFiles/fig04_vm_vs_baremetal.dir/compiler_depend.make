@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_vm_vs_baremetal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_single_stream_amlight.dir/fig05_single_stream_amlight.cpp.o"
+  "CMakeFiles/fig05_single_stream_amlight.dir/fig05_single_stream_amlight.cpp.o.d"
+  "fig05_single_stream_amlight"
+  "fig05_single_stream_amlight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_single_stream_amlight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

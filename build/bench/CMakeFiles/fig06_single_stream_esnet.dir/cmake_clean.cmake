@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_single_stream_esnet.dir/fig06_single_stream_esnet.cpp.o"
+  "CMakeFiles/fig06_single_stream_esnet.dir/fig06_single_stream_esnet.cpp.o.d"
+  "fig06_single_stream_esnet"
+  "fig06_single_stream_esnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_single_stream_esnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cpu_util_intel.dir/fig07_cpu_util_intel.cpp.o"
+  "CMakeFiles/fig07_cpu_util_intel.dir/fig07_cpu_util_intel.cpp.o.d"
+  "fig07_cpu_util_intel"
+  "fig07_cpu_util_intel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cpu_util_intel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cpu_util_amd.dir/fig08_cpu_util_amd.cpp.o"
+  "CMakeFiles/fig08_cpu_util_amd.dir/fig08_cpu_util_amd.cpp.o.d"
+  "fig08_cpu_util_amd"
+  "fig08_cpu_util_amd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cpu_util_amd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_cpu_util_amd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_optmem_sweep.dir/fig09_optmem_sweep.cpp.o"
+  "CMakeFiles/fig09_optmem_sweep.dir/fig09_optmem_sweep.cpp.o.d"
+  "fig09_optmem_sweep"
+  "fig09_optmem_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_optmem_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

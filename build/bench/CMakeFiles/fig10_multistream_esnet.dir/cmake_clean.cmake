@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_multistream_esnet.dir/fig10_multistream_esnet.cpp.o"
+  "CMakeFiles/fig10_multistream_esnet.dir/fig10_multistream_esnet.cpp.o.d"
+  "fig10_multistream_esnet"
+  "fig10_multistream_esnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multistream_esnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_multistream_amlight.cpp" "bench/CMakeFiles/fig11_multistream_amlight.dir/fig11_multistream_amlight.cpp.o" "gcc" "bench/CMakeFiles/fig11_multistream_amlight.dir/fig11_multistream_amlight.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dtnsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_multistream_amlight.dir/fig11_multistream_amlight.cpp.o"
+  "CMakeFiles/fig11_multistream_amlight.dir/fig11_multistream_amlight.cpp.o.d"
+  "fig11_multistream_amlight"
+  "fig11_multistream_amlight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_multistream_amlight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

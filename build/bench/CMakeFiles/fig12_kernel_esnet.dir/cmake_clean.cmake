@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_kernel_esnet.dir/fig12_kernel_esnet.cpp.o"
+  "CMakeFiles/fig12_kernel_esnet.dir/fig12_kernel_esnet.cpp.o.d"
+  "fig12_kernel_esnet"
+  "fig12_kernel_esnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_kernel_esnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

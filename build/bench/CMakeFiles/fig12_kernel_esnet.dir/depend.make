@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_kernel_esnet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_kernel_amlight.dir/fig13_kernel_amlight.cpp.o"
+  "CMakeFiles/fig13_kernel_amlight.dir/fig13_kernel_amlight.cpp.o.d"
+  "fig13_kernel_amlight"
+  "fig13_kernel_amlight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_kernel_amlight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

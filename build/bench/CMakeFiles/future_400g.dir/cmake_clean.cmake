@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_400g.dir/future_400g.cpp.o"
+  "CMakeFiles/future_400g.dir/future_400g.cpp.o.d"
+  "future_400g"
+  "future_400g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_400g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

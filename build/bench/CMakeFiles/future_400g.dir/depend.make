@@ -1,0 +1,2 @@
+# Empty dependencies file for future_400g.
+# This may be replaced when dependencies are built.

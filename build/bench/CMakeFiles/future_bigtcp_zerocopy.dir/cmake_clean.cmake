@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_bigtcp_zerocopy.dir/future_bigtcp_zerocopy.cpp.o"
+  "CMakeFiles/future_bigtcp_zerocopy.dir/future_bigtcp_zerocopy.cpp.o.d"
+  "future_bigtcp_zerocopy"
+  "future_bigtcp_zerocopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_bigtcp_zerocopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

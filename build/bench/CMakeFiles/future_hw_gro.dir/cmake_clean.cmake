@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_hw_gro.dir/future_hw_gro.cpp.o"
+  "CMakeFiles/future_hw_gro.dir/future_hw_gro.cpp.o.d"
+  "future_hw_gro"
+  "future_hw_gro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_hw_gro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

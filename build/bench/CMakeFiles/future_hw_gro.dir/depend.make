@@ -1,0 +1,2 @@
+# Empty dependencies file for future_hw_gro.
+# This may be replaced when dependencies are built.

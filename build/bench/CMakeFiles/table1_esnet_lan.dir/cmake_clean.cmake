@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_esnet_lan.dir/table1_esnet_lan.cpp.o"
+  "CMakeFiles/table1_esnet_lan.dir/table1_esnet_lan.cpp.o.d"
+  "table1_esnet_lan"
+  "table1_esnet_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_esnet_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_esnet_wan.dir/table2_esnet_wan.cpp.o"
+  "CMakeFiles/table2_esnet_wan.dir/table2_esnet_wan.cpp.o.d"
+  "table2_esnet_wan"
+  "table2_esnet_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_esnet_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_flow_control.dir/table3_flow_control.cpp.o"
+  "CMakeFiles/table3_flow_control.dir/table3_flow_control.cpp.o.d"
+  "table3_flow_control"
+  "table3_flow_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_flow_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

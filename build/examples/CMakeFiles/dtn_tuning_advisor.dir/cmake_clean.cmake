@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtn_tuning_advisor.dir/dtn_tuning_advisor.cpp.o"
+  "CMakeFiles/dtn_tuning_advisor.dir/dtn_tuning_advisor.cpp.o.d"
+  "dtn_tuning_advisor"
+  "dtn_tuning_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtn_tuning_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

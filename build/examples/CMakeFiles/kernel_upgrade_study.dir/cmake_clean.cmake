@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_upgrade_study.dir/kernel_upgrade_study.cpp.o"
+  "CMakeFiles/kernel_upgrade_study.dir/kernel_upgrade_study.cpp.o.d"
+  "kernel_upgrade_study"
+  "kernel_upgrade_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_upgrade_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_stream_planner.dir/parallel_stream_planner.cpp.o"
+  "CMakeFiles/parallel_stream_planner.dir/parallel_stream_planner.cpp.o.d"
+  "parallel_stream_planner"
+  "parallel_stream_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_stream_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnsim_app.dir/dtnsim/app/iperf.cpp.o"
+  "CMakeFiles/dtnsim_app.dir/dtnsim/app/iperf.cpp.o.d"
+  "CMakeFiles/dtnsim_app.dir/dtnsim/app/mpstat.cpp.o"
+  "CMakeFiles/dtnsim_app.dir/dtnsim/app/mpstat.cpp.o.d"
+  "CMakeFiles/dtnsim_app.dir/dtnsim/app/neper.cpp.o"
+  "CMakeFiles/dtnsim_app.dir/dtnsim/app/neper.cpp.o.d"
+  "libdtnsim_app.a"
+  "libdtnsim_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnsim_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnsim_cli.dir/dtnsim/cli/cli.cpp.o"
+  "CMakeFiles/dtnsim_cli.dir/dtnsim/cli/cli.cpp.o.d"
+  "libdtnsim_cli.a"
+  "libdtnsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnsim_core.dir/dtnsim/core/advisor.cpp.o"
+  "CMakeFiles/dtnsim_core.dir/dtnsim/core/advisor.cpp.o.d"
+  "CMakeFiles/dtnsim_core.dir/dtnsim/core/experiment.cpp.o"
+  "CMakeFiles/dtnsim_core.dir/dtnsim/core/experiment.cpp.o.d"
+  "libdtnsim_core.a"
+  "libdtnsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

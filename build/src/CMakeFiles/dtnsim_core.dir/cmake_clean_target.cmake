@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtnsim_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtnsim/cpu/affinity.cpp" "src/CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/affinity.cpp.o" "gcc" "src/CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/affinity.cpp.o.d"
+  "/root/repo/src/dtnsim/cpu/budget.cpp" "src/CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/budget.cpp.o" "gcc" "src/CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/budget.cpp.o.d"
+  "/root/repo/src/dtnsim/cpu/cost_model.cpp" "src/CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/cost_model.cpp.o" "gcc" "src/CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/cost_model.cpp.o.d"
+  "/root/repo/src/dtnsim/cpu/spec.cpp" "src/CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/spec.cpp.o" "gcc" "src/CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/spec.cpp.o.d"
+  "/root/repo/src/dtnsim/cpu/topology.cpp" "src/CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/topology.cpp.o" "gcc" "src/CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dtnsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/affinity.cpp.o"
+  "CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/affinity.cpp.o.d"
+  "CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/budget.cpp.o"
+  "CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/budget.cpp.o.d"
+  "CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/cost_model.cpp.o"
+  "CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/cost_model.cpp.o.d"
+  "CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/spec.cpp.o"
+  "CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/spec.cpp.o.d"
+  "CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/topology.cpp.o"
+  "CMakeFiles/dtnsim_cpu.dir/dtnsim/cpu/topology.cpp.o.d"
+  "libdtnsim_cpu.a"
+  "libdtnsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

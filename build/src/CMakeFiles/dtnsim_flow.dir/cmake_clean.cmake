@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnsim_flow.dir/dtnsim/flow/packet_sim.cpp.o"
+  "CMakeFiles/dtnsim_flow.dir/dtnsim/flow/packet_sim.cpp.o.d"
+  "CMakeFiles/dtnsim_flow.dir/dtnsim/flow/transfer.cpp.o"
+  "CMakeFiles/dtnsim_flow.dir/dtnsim/flow/transfer.cpp.o.d"
+  "libdtnsim_flow.a"
+  "libdtnsim_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnsim_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

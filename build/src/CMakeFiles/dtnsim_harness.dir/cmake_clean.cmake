@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnsim_harness.dir/dtnsim/harness/dataset.cpp.o"
+  "CMakeFiles/dtnsim_harness.dir/dtnsim/harness/dataset.cpp.o.d"
+  "CMakeFiles/dtnsim_harness.dir/dtnsim/harness/experiments.cpp.o"
+  "CMakeFiles/dtnsim_harness.dir/dtnsim/harness/experiments.cpp.o.d"
+  "CMakeFiles/dtnsim_harness.dir/dtnsim/harness/plot.cpp.o"
+  "CMakeFiles/dtnsim_harness.dir/dtnsim/harness/plot.cpp.o.d"
+  "CMakeFiles/dtnsim_harness.dir/dtnsim/harness/runner.cpp.o"
+  "CMakeFiles/dtnsim_harness.dir/dtnsim/harness/runner.cpp.o.d"
+  "CMakeFiles/dtnsim_harness.dir/dtnsim/harness/testbeds.cpp.o"
+  "CMakeFiles/dtnsim_harness.dir/dtnsim/harness/testbeds.cpp.o.d"
+  "libdtnsim_harness.a"
+  "libdtnsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnsim_host.dir/dtnsim/host/host.cpp.o"
+  "CMakeFiles/dtnsim_host.dir/dtnsim/host/host.cpp.o.d"
+  "CMakeFiles/dtnsim_host.dir/dtnsim/host/tuning.cpp.o"
+  "CMakeFiles/dtnsim_host.dir/dtnsim/host/tuning.cpp.o.d"
+  "CMakeFiles/dtnsim_host.dir/dtnsim/host/vm.cpp.o"
+  "CMakeFiles/dtnsim_host.dir/dtnsim/host/vm.cpp.o.d"
+  "libdtnsim_host.a"
+  "libdtnsim_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnsim_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

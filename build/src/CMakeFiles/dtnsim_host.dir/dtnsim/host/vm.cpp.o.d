@@ -1,0 +1,3 @@
+src/CMakeFiles/dtnsim_host.dir/dtnsim/host/vm.cpp.o: \
+ /root/repo/src/dtnsim/host/vm.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/dtnsim/host/vm.hpp

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtnsim/kern/gro.cpp" "src/CMakeFiles/dtnsim_kern.dir/dtnsim/kern/gro.cpp.o" "gcc" "src/CMakeFiles/dtnsim_kern.dir/dtnsim/kern/gro.cpp.o.d"
+  "/root/repo/src/dtnsim/kern/gso.cpp" "src/CMakeFiles/dtnsim_kern.dir/dtnsim/kern/gso.cpp.o" "gcc" "src/CMakeFiles/dtnsim_kern.dir/dtnsim/kern/gso.cpp.o.d"
+  "/root/repo/src/dtnsim/kern/skb.cpp" "src/CMakeFiles/dtnsim_kern.dir/dtnsim/kern/skb.cpp.o" "gcc" "src/CMakeFiles/dtnsim_kern.dir/dtnsim/kern/skb.cpp.o.d"
+  "/root/repo/src/dtnsim/kern/socket_api.cpp" "src/CMakeFiles/dtnsim_kern.dir/dtnsim/kern/socket_api.cpp.o" "gcc" "src/CMakeFiles/dtnsim_kern.dir/dtnsim/kern/socket_api.cpp.o.d"
+  "/root/repo/src/dtnsim/kern/sysctl.cpp" "src/CMakeFiles/dtnsim_kern.dir/dtnsim/kern/sysctl.cpp.o" "gcc" "src/CMakeFiles/dtnsim_kern.dir/dtnsim/kern/sysctl.cpp.o.d"
+  "/root/repo/src/dtnsim/kern/version.cpp" "src/CMakeFiles/dtnsim_kern.dir/dtnsim/kern/version.cpp.o" "gcc" "src/CMakeFiles/dtnsim_kern.dir/dtnsim/kern/version.cpp.o.d"
+  "/root/repo/src/dtnsim/kern/zc_socket.cpp" "src/CMakeFiles/dtnsim_kern.dir/dtnsim/kern/zc_socket.cpp.o" "gcc" "src/CMakeFiles/dtnsim_kern.dir/dtnsim/kern/zc_socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dtnsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnsim_kern.dir/dtnsim/kern/gro.cpp.o"
+  "CMakeFiles/dtnsim_kern.dir/dtnsim/kern/gro.cpp.o.d"
+  "CMakeFiles/dtnsim_kern.dir/dtnsim/kern/gso.cpp.o"
+  "CMakeFiles/dtnsim_kern.dir/dtnsim/kern/gso.cpp.o.d"
+  "CMakeFiles/dtnsim_kern.dir/dtnsim/kern/skb.cpp.o"
+  "CMakeFiles/dtnsim_kern.dir/dtnsim/kern/skb.cpp.o.d"
+  "CMakeFiles/dtnsim_kern.dir/dtnsim/kern/socket_api.cpp.o"
+  "CMakeFiles/dtnsim_kern.dir/dtnsim/kern/socket_api.cpp.o.d"
+  "CMakeFiles/dtnsim_kern.dir/dtnsim/kern/sysctl.cpp.o"
+  "CMakeFiles/dtnsim_kern.dir/dtnsim/kern/sysctl.cpp.o.d"
+  "CMakeFiles/dtnsim_kern.dir/dtnsim/kern/version.cpp.o"
+  "CMakeFiles/dtnsim_kern.dir/dtnsim/kern/version.cpp.o.d"
+  "CMakeFiles/dtnsim_kern.dir/dtnsim/kern/zc_socket.cpp.o"
+  "CMakeFiles/dtnsim_kern.dir/dtnsim/kern/zc_socket.cpp.o.d"
+  "libdtnsim_kern.a"
+  "libdtnsim_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnsim_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtnsim/net/nic.cpp" "src/CMakeFiles/dtnsim_net.dir/dtnsim/net/nic.cpp.o" "gcc" "src/CMakeFiles/dtnsim_net.dir/dtnsim/net/nic.cpp.o.d"
+  "/root/repo/src/dtnsim/net/path.cpp" "src/CMakeFiles/dtnsim_net.dir/dtnsim/net/path.cpp.o" "gcc" "src/CMakeFiles/dtnsim_net.dir/dtnsim/net/path.cpp.o.d"
+  "/root/repo/src/dtnsim/net/qdisc.cpp" "src/CMakeFiles/dtnsim_net.dir/dtnsim/net/qdisc.cpp.o" "gcc" "src/CMakeFiles/dtnsim_net.dir/dtnsim/net/qdisc.cpp.o.d"
+  "/root/repo/src/dtnsim/net/switch_model.cpp" "src/CMakeFiles/dtnsim_net.dir/dtnsim/net/switch_model.cpp.o" "gcc" "src/CMakeFiles/dtnsim_net.dir/dtnsim/net/switch_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dtnsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnsim_net.dir/dtnsim/net/nic.cpp.o"
+  "CMakeFiles/dtnsim_net.dir/dtnsim/net/nic.cpp.o.d"
+  "CMakeFiles/dtnsim_net.dir/dtnsim/net/path.cpp.o"
+  "CMakeFiles/dtnsim_net.dir/dtnsim/net/path.cpp.o.d"
+  "CMakeFiles/dtnsim_net.dir/dtnsim/net/qdisc.cpp.o"
+  "CMakeFiles/dtnsim_net.dir/dtnsim/net/qdisc.cpp.o.d"
+  "CMakeFiles/dtnsim_net.dir/dtnsim/net/switch_model.cpp.o"
+  "CMakeFiles/dtnsim_net.dir/dtnsim/net/switch_model.cpp.o.d"
+  "libdtnsim_net.a"
+  "libdtnsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

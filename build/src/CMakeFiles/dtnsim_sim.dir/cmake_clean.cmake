@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnsim_sim.dir/dtnsim/sim/engine.cpp.o"
+  "CMakeFiles/dtnsim_sim.dir/dtnsim/sim/engine.cpp.o.d"
+  "CMakeFiles/dtnsim_sim.dir/dtnsim/sim/event_queue.cpp.o"
+  "CMakeFiles/dtnsim_sim.dir/dtnsim/sim/event_queue.cpp.o.d"
+  "libdtnsim_sim.a"
+  "libdtnsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

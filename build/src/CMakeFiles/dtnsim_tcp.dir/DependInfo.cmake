@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtnsim/tcp/bbr.cpp" "src/CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/bbr.cpp.o" "gcc" "src/CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/bbr.cpp.o.d"
+  "/root/repo/src/dtnsim/tcp/cc.cpp" "src/CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/cc.cpp.o" "gcc" "src/CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/cc.cpp.o.d"
+  "/root/repo/src/dtnsim/tcp/cubic.cpp" "src/CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/cubic.cpp.o" "gcc" "src/CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/cubic.cpp.o.d"
+  "/root/repo/src/dtnsim/tcp/reno.cpp" "src/CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/reno.cpp.o" "gcc" "src/CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/reno.cpp.o.d"
+  "/root/repo/src/dtnsim/tcp/rtt.cpp" "src/CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/rtt.cpp.o" "gcc" "src/CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/rtt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dtnsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtnsim_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

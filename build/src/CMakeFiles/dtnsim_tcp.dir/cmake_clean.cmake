@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/bbr.cpp.o"
+  "CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/bbr.cpp.o.d"
+  "CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/cc.cpp.o"
+  "CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/cc.cpp.o.d"
+  "CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/cubic.cpp.o"
+  "CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/cubic.cpp.o.d"
+  "CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/reno.cpp.o"
+  "CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/reno.cpp.o.d"
+  "CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/rtt.cpp.o"
+  "CMakeFiles/dtnsim_tcp.dir/dtnsim/tcp/rtt.cpp.o.d"
+  "libdtnsim_tcp.a"
+  "libdtnsim_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnsim_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

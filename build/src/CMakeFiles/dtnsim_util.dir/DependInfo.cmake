@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtnsim/util/csv.cpp" "src/CMakeFiles/dtnsim_util.dir/dtnsim/util/csv.cpp.o" "gcc" "src/CMakeFiles/dtnsim_util.dir/dtnsim/util/csv.cpp.o.d"
+  "/root/repo/src/dtnsim/util/json.cpp" "src/CMakeFiles/dtnsim_util.dir/dtnsim/util/json.cpp.o" "gcc" "src/CMakeFiles/dtnsim_util.dir/dtnsim/util/json.cpp.o.d"
+  "/root/repo/src/dtnsim/util/log.cpp" "src/CMakeFiles/dtnsim_util.dir/dtnsim/util/log.cpp.o" "gcc" "src/CMakeFiles/dtnsim_util.dir/dtnsim/util/log.cpp.o.d"
+  "/root/repo/src/dtnsim/util/rng.cpp" "src/CMakeFiles/dtnsim_util.dir/dtnsim/util/rng.cpp.o" "gcc" "src/CMakeFiles/dtnsim_util.dir/dtnsim/util/rng.cpp.o.d"
+  "/root/repo/src/dtnsim/util/stats.cpp" "src/CMakeFiles/dtnsim_util.dir/dtnsim/util/stats.cpp.o" "gcc" "src/CMakeFiles/dtnsim_util.dir/dtnsim/util/stats.cpp.o.d"
+  "/root/repo/src/dtnsim/util/strfmt.cpp" "src/CMakeFiles/dtnsim_util.dir/dtnsim/util/strfmt.cpp.o" "gcc" "src/CMakeFiles/dtnsim_util.dir/dtnsim/util/strfmt.cpp.o.d"
+  "/root/repo/src/dtnsim/util/table.cpp" "src/CMakeFiles/dtnsim_util.dir/dtnsim/util/table.cpp.o" "gcc" "src/CMakeFiles/dtnsim_util.dir/dtnsim/util/table.cpp.o.d"
+  "/root/repo/src/dtnsim/util/units.cpp" "src/CMakeFiles/dtnsim_util.dir/dtnsim/util/units.cpp.o" "gcc" "src/CMakeFiles/dtnsim_util.dir/dtnsim/util/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

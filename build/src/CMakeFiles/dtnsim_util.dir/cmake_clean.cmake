@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnsim_util.dir/dtnsim/util/csv.cpp.o"
+  "CMakeFiles/dtnsim_util.dir/dtnsim/util/csv.cpp.o.d"
+  "CMakeFiles/dtnsim_util.dir/dtnsim/util/json.cpp.o"
+  "CMakeFiles/dtnsim_util.dir/dtnsim/util/json.cpp.o.d"
+  "CMakeFiles/dtnsim_util.dir/dtnsim/util/log.cpp.o"
+  "CMakeFiles/dtnsim_util.dir/dtnsim/util/log.cpp.o.d"
+  "CMakeFiles/dtnsim_util.dir/dtnsim/util/rng.cpp.o"
+  "CMakeFiles/dtnsim_util.dir/dtnsim/util/rng.cpp.o.d"
+  "CMakeFiles/dtnsim_util.dir/dtnsim/util/stats.cpp.o"
+  "CMakeFiles/dtnsim_util.dir/dtnsim/util/stats.cpp.o.d"
+  "CMakeFiles/dtnsim_util.dir/dtnsim/util/strfmt.cpp.o"
+  "CMakeFiles/dtnsim_util.dir/dtnsim/util/strfmt.cpp.o.d"
+  "CMakeFiles/dtnsim_util.dir/dtnsim/util/table.cpp.o"
+  "CMakeFiles/dtnsim_util.dir/dtnsim/util/table.cpp.o.d"
+  "CMakeFiles/dtnsim_util.dir/dtnsim/util/units.cpp.o"
+  "CMakeFiles/dtnsim_util.dir/dtnsim/util/units.cpp.o.d"
+  "libdtnsim_util.a"
+  "libdtnsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

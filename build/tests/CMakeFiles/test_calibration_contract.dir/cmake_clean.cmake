@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calibration_contract.dir/test_calibration_contract.cpp.o"
+  "CMakeFiles/test_calibration_contract.dir/test_calibration_contract.cpp.o.d"
+  "test_calibration_contract"
+  "test_calibration_contract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calibration_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_features.dir/test_integration_features.cpp.o"
+  "CMakeFiles/test_integration_features.dir/test_integration_features.cpp.o.d"
+  "test_integration_features"
+  "test_integration_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

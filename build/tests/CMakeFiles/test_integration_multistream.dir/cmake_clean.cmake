@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_multistream.dir/test_integration_multistream.cpp.o"
+  "CMakeFiles/test_integration_multistream.dir/test_integration_multistream.cpp.o.d"
+  "test_integration_multistream"
+  "test_integration_multistream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_multistream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_single_stream.dir/test_integration_single_stream.cpp.o"
+  "CMakeFiles/test_integration_single_stream.dir/test_integration_single_stream.cpp.o.d"
+  "test_integration_single_stream"
+  "test_integration_single_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_single_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

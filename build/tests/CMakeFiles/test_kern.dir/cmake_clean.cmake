@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kern.dir/test_kern.cpp.o"
+  "CMakeFiles/test_kern.dir/test_kern.cpp.o.d"
+  "test_kern"
+  "test_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neper.dir/test_neper.cpp.o"
+  "CMakeFiles/test_neper.dir/test_neper.cpp.o.d"
+  "test_neper"
+  "test_neper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_socket_api.dir/test_socket_api.cpp.o"
+  "CMakeFiles/test_socket_api.dir/test_socket_api.cpp.o.d"
+  "test_socket_api"
+  "test_socket_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_socket_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

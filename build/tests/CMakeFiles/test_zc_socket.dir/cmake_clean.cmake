@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zc_socket.dir/test_zc_socket.cpp.o"
+  "CMakeFiles/test_zc_socket.dir/test_zc_socket.cpp.o.d"
+  "test_zc_socket"
+  "test_zc_socket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zc_socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnsim-advisor.dir/dtnsim_advisor.cpp.o"
+  "CMakeFiles/dtnsim-advisor.dir/dtnsim_advisor.cpp.o.d"
+  "dtnsim-advisor"
+  "dtnsim-advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnsim-advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

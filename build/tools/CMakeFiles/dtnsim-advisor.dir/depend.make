@@ -1,0 +1,2 @@
+# Empty dependencies file for dtnsim-advisor.
+# This may be replaced when dependencies are built.

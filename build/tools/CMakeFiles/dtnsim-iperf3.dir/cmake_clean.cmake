@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnsim-iperf3.dir/dtnsim_iperf3.cpp.o"
+  "CMakeFiles/dtnsim-iperf3.dir/dtnsim_iperf3.cpp.o.d"
+  "dtnsim-iperf3"
+  "dtnsim-iperf3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnsim-iperf3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtnsim-repro.dir/dtnsim_repro.cpp.o"
+  "CMakeFiles/dtnsim-repro.dir/dtnsim_repro.cpp.o.d"
+  "dtnsim-repro"
+  "dtnsim-repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtnsim-repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
