@@ -55,7 +55,8 @@ bool needs_value(const std::string& flag) {
          flag == "-C" || flag == "--congestion" || flag == "--fq-rate" ||
          flag == "--testbed" || flag == "--path" || flag == "--kernel" ||
          flag == "--optmem" || flag == "--ring" || flag == "--repeats" ||
-         flag == "--seed";
+         flag == "--seed" || flag == "--probe-interval" || flag == "--metrics-out" ||
+         flag == "--trace-out";
 }
 
 }  // namespace
@@ -63,14 +64,45 @@ bool needs_value(const std::string& flag) {
 CliOptions parse_cli(const std::vector<std::string>& args) {
   CliOptions o;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& flag = args[i];
+    std::string flag = args[i];
     std::string value;
-    if (needs_value(flag)) {
+    bool has_inline_value = false;
+    // Long flags accept --flag=value; "--zerocopy=z" stays a valid spelling.
+    if (flag.rfind("--", 0) == 0) {
+      const std::size_t eq = flag.find('=');
+      if (eq != std::string::npos) {
+        value = flag.substr(eq + 1);
+        flag = flag.substr(0, eq);
+        has_inline_value = true;
+      }
+    }
+    if (flag == "--zerocopy" && has_inline_value) {
+      if (value != "z") {
+        o.error = "bad --zerocopy mode: " + value;
+        return o;
+      }
+      has_inline_value = false;  // handled below as the plain switch
+      value.clear();
+    }
+    if (flag == "--big-tcp" && has_inline_value) {
+      const auto sz = parse_rate(value);
+      if (!sz) {
+        o.error = "bad --big-tcp size: " + value;
+        return o;
+      }
+      o.big_tcp = true;
+      o.big_tcp_bytes = *sz;
+      continue;
+    }
+    if (needs_value(flag) && !has_inline_value) {
       if (i + 1 >= args.size()) {
         o.error = "missing value for " + flag;
         return o;
       }
       value = args[++i];
+    } else if (has_inline_value && !needs_value(flag)) {
+      o.error = "flag does not take a value: " + flag;
+      return o;
     }
 
     if (flag == "-h" || flag == "--help") {
@@ -140,6 +172,16 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       o.repeats = std::max(std::atoi(value.c_str()), 1);
     } else if (flag == "--seed") {
       o.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--probe-interval") {
+      o.probe_interval_sec = std::atof(value.c_str());
+      if (o.probe_interval_sec <= 0) {
+        o.error = "probe interval must be positive";
+        return o;
+      }
+    } else if (flag == "--metrics-out") {
+      o.metrics_out = value;
+    } else if (flag == "--trace-out") {
+      o.trace_out = value;
     } else {
       o.error = "unknown flag: " + flag;
       return o;
@@ -168,7 +210,11 @@ std::string cli_help() {
       "      --big-tcp [SIZE]   enable BIG TCP (default 150K)\n"
       "      --ring N           RX/TX ring descriptors\n"
       "      --repeats N        repeats with seed substreams (default 1)\n"
-      "      --seed N           RNG seed\n";
+      "      --seed N           RNG seed\n"
+      "observability flags (docs/OBSERVABILITY.md):\n"
+      "      --probe-interval S telemetry sampling cadence in seconds (default 1)\n"
+      "      --metrics-out F    write per-interval metric series as CSV\n"
+      "      --trace-out F      write chrome://tracing / Perfetto JSON trace\n";
 }
 
 harness::TestSpec spec_from_cli(const CliOptions& opts) {
@@ -197,6 +243,10 @@ harness::TestSpec spec_from_cli(const CliOptions& opts) {
     }
     if (opts.ring > 0) h->tuning.ring_descriptors = opts.ring;
   }
+  if (!opts.metrics_out.empty() || !opts.trace_out.empty()) {
+    spec.telemetry.enabled = true;
+    spec.telemetry.probe_interval = units::seconds(opts.probe_interval_sec);
+  }
   return spec;
 }
 
@@ -219,6 +269,25 @@ int run_cli(const CliOptions& opts, std::string& output) {
   }
 
   const auto result = harness::run_test(spec);
+
+  std::string telemetry_note;
+  if (!opts.metrics_out.empty()) {
+    std::vector<obs::LabeledSeries> labeled;
+    for (std::size_t r = 0; r < result.repeat_series.size(); ++r)
+      labeled.push_back({spec.name, static_cast<int>(r), &result.repeat_series[r]});
+    if (!obs::write_merged_series_csv(opts.metrics_out, labeled)) {
+      output = strfmt("error: cannot write metrics to %s\n", opts.metrics_out.c_str());
+      return 1;
+    }
+    telemetry_note += strfmt("  metrics    : %s\n", opts.metrics_out.c_str());
+  }
+  if (!opts.trace_out.empty() && result.trace) {
+    if (!result.trace->write_file(opts.trace_out, spec.name)) {
+      output = strfmt("error: cannot write trace to %s\n", opts.trace_out.c_str());
+      return 1;
+    }
+    telemetry_note += strfmt("  trace      : %s\n", opts.trace_out.c_str());
+  }
 
   if (opts.iperf.json) {
     Json j = Json::object();
@@ -244,6 +313,7 @@ int run_cli(const CliOptions& opts, std::string& output) {
         result.name.c_str(), result.avg_gbps, result.min_gbps, result.max_gbps,
         result.stdev_gbps, result.repeats, result.avg_retransmits, result.snd_cpu_pct,
         result.rcv_cpu_pct);
+    output += telemetry_note;
   }
   return 0;
 }

@@ -19,6 +19,11 @@
 //   --ring N                RX/TX descriptors
 //   --repeats N             harness repeats (default 1)
 //   --seed N                RNG seed
+// Observability (see docs/OBSERVABILITY.md):
+//   --probe-interval SEC    telemetry sampling cadence (iperf3 -i analogue)
+//   --metrics-out PATH      per-interval metric series -> CSV
+//   --trace-out PATH        chrome://tracing / Perfetto trace_event JSON
+// Long flags also accept --flag=value.
 #pragma once
 
 #include <optional>
@@ -50,6 +55,10 @@ struct CliOptions {
   int ring = -1;              // < 0 -> testbed default
   int repeats = 1;
   std::uint64_t seed = 0x5eed;
+  // Telemetry: any of these switches the probe/trace machinery on.
+  double probe_interval_sec = 1.0;
+  std::string metrics_out;    // "" -> no CSV series written
+  std::string trace_out;      // "" -> no chrome trace written
 };
 
 CliOptions parse_cli(const std::vector<std::string>& args);

@@ -38,12 +38,17 @@
 #include "dtnsim/net/path.hpp"
 #include "dtnsim/net/qdisc.hpp"
 #include "dtnsim/net/switch_model.hpp"
+#include "dtnsim/obs/metrics.hpp"
+#include "dtnsim/obs/probe.hpp"
+#include "dtnsim/obs/telemetry.hpp"
+#include "dtnsim/obs/trace.hpp"
 #include "dtnsim/sim/engine.hpp"
 #include "dtnsim/tcp/bbr.hpp"
 #include "dtnsim/tcp/cc.hpp"
 #include "dtnsim/tcp/cubic.hpp"
 #include "dtnsim/util/csv.hpp"
 #include "dtnsim/util/json.hpp"
+#include "dtnsim/util/log.hpp"
 #include "dtnsim/util/stats.hpp"
 #include "dtnsim/util/strfmt.hpp"
 #include "dtnsim/util/table.hpp"

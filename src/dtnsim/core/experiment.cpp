@@ -109,10 +109,21 @@ Experiment& Experiment::label(std::string name) {
   return *this;
 }
 
+Experiment& Experiment::telemetry(obs::TelemetryConfig cfg) {
+  telemetry_ = cfg;
+  return *this;
+}
+
+Experiment& Experiment::telemetry(bool on) {
+  telemetry_.enabled = on;
+  return *this;
+}
+
 harness::TestSpec Experiment::spec() const {
   harness::TestSpec s = harness::TestSpec::on(testbed_, path_name_, iperf_, label_);
   s.repeats = repeats_;
   s.base_seed = seed_;
+  s.telemetry = telemetry_;
   return s;
 }
 

@@ -31,6 +31,10 @@ class Experiment {
   Experiment& repeats(int n);
   Experiment& seed(std::uint64_t seed);
   Experiment& label(std::string name);
+  // Attach per-interval probes + trace recording to every repeat; the
+  // series/trace land on the TestResult (see obs/telemetry.hpp).
+  Experiment& telemetry(obs::TelemetryConfig cfg);
+  Experiment& telemetry(bool on = true);
 
   // The spec this builder will run (inspectable before running).
   harness::TestSpec spec() const;
@@ -43,6 +47,7 @@ class Experiment {
   int repeats_ = 10;
   std::uint64_t seed_ = 0x5eed;
   std::string label_;
+  obs::TelemetryConfig telemetry_;
 };
 
 }  // namespace dtnsim

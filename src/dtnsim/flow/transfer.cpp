@@ -6,6 +6,7 @@
 #include "dtnsim/kern/gro.hpp"
 #include "dtnsim/kern/gso.hpp"
 #include "dtnsim/sim/engine.hpp"
+#include "dtnsim/util/log.hpp"
 
 namespace dtnsim::flow {
 namespace {
@@ -68,11 +69,82 @@ void TransferSimulation::update_jitter(FlowState& f) {
   f.share_jitter = f.share_jitter * kJitterRho + target * (1.0 - kJitterRho);
 }
 
+void TransferSimulation::setup_telemetry(sim::Engine& engine) {
+  tel_ = cfg_.telemetry;
+  if (!tel_ || !tel_->config().enabled) {
+    tel_ = nullptr;
+    return;
+  }
+  auto& reg = tel_->registry();
+  instr_ = std::make_unique<Instruments>();
+  Instruments& in = *instr_;
+
+  in.cwnd = reg.gauge("tcp.cwnd_bytes", "bytes", "flow 0 congestion window");
+  in.ssthresh = reg.gauge("tcp.ssthresh_bytes", "bytes", "flow 0 ssthresh (0 for BBR)");
+  in.pacing_rate = reg.gauge("tcp.pacing_rate_bps", "bps",
+                             "effective pacing: fq-rate or CC self-pacing");
+  in.srtt = reg.gauge("tcp.srtt_sec", "sec", "flow 0 smoothed RTT");
+  in.slow_start = reg.gauge("tcp.in_slow_start", "bool", "flow 0 slow-start state");
+  in.retx = reg.counter("tcp.retransmit_segments", "segments", "all flows");
+  in.cwnd_hist = reg.histogram("tcp.cwnd_dist_bytes", "bytes",
+                               "time-weighted cwnd distribution");
+
+  in.optmem_used = reg.gauge("zc.optmem_used_bytes", "bytes",
+                             "peak in-tick optmem charge, summed over flows");
+  in.optmem_max = reg.gauge("zc.optmem_max_bytes", "bytes", "per-socket limit");
+  in.zc_bytes = reg.counter("zc.sent_bytes", "bytes", "bytes sent pinned (no copy)");
+  in.fb_bytes = reg.counter("zc.fallback_bytes", "bytes",
+                            "bytes that fell back to copy after failed pin");
+  in.fb_events = reg.counter("zc.fallback_sends", "sends",
+                             "sends that (partially) fell back");
+  in.optmem_frac_hist = reg.histogram("zc.optmem_occupancy_pct", "percent",
+                                      "time-weighted optmem occupancy");
+
+  in.ring_occupancy = reg.gauge("nic.rx_ring_occupancy_frac", "frac",
+                                "peak modeled RX ring fill this tick");
+  in.nic_drops = reg.counter("nic.rx_dropped_bytes", "bytes", "ring overflow drops");
+  in.pause_ticks = reg.counter("nic.pause_frame_ticks", "ticks",
+                               "ticks with 802.3x pause frames active");
+  in.path_drops = reg.counter("path.dropped_bytes", "bytes", "path/switch drops");
+  in.trim_frac = reg.gauge("path.trim_frac", "frac",
+                           "burst-tolerance trimming this tick");
+
+  in.goodput = reg.gauge("flow.goodput_bps", "bps", "receiver-side delivery rate");
+  in.sent_rate = reg.gauge("flow.sent_rate_bps", "bps", "sender-side wire rate");
+  in.rcv_backlog = reg.gauge("flow.rcv_backlog_bytes", "bytes",
+                             "receiver socket backlog, summed over flows");
+  in.snd_app = reg.gauge("cpu.snd_app_util", "frac", "sender app-core utilization");
+  in.snd_irq = reg.gauge("cpu.snd_irq_util", "frac", "sender IRQ-pool utilization");
+  in.rcv_app = reg.gauge("cpu.rcv_app_util", "frac", "receiver app-core utilization");
+  in.rcv_irq = reg.gauge("cpu.rcv_irq_util", "frac", "receiver IRQ-pool utilization");
+  in.limit_code = reg.gauge("limit.current", "enum",
+                            "binding sender constraint (see limit.* counters)");
+  for (int c = 0; c < 8; ++c) {
+    in.limit_ticks[c] =
+        reg.counter(std::string("limit.") + obs::round_limit_name(
+                        static_cast<obs::RoundLimit>(c)) + "_ticks",
+                    "ticks", "rounds bounded by this constraint");
+  }
+  in.optmem_max->set(cfg_.sender.tuning.sysctl.optmem_max);
+  in.flow0_slow_start = flows_[0].cc->in_slow_start();
+
+  tel_->trace().begin("transfer", "run", engine.now());
+  tel_->probe().arm(engine, cfg_.duration);
+}
+
 TransferResult TransferSimulation::run() {
   sim::Engine engine;
+  engine_ = &engine;
   const double rtt = std::max(path_.spec().rtt_sec(), 1e-6);
   const double dt = std::max(rtt, kMinTickSec);
   const Nanos tick_ns = std::max<Nanos>(static_cast<Nanos>(dt * 1e9), 1);
+
+  log::ScopedTimeSource clock([&engine] { return engine.now(); });
+  log::info("transfer start: %s, %zu flow(s), rtt %.3fs, %.0fs run%s%s",
+            path_.spec().name.c_str(), flows_.size(), path_.spec().rtt_sec(),
+            units::to_seconds(cfg_.duration),
+            cfg_.flow.zerocopy ? ", zerocopy" : "",
+            cfg_.flow.fq_rate_bps > 0 ? ", paced" : "");
 
   // Self-rescheduling round tick on the event engine.
   std::function<void()> round = [&] {
@@ -83,7 +155,15 @@ TransferResult TransferSimulation::run() {
     }
   };
   engine.schedule(tick_ns, round);
+  // Probe events land after the round tick at coincident timestamps.
+  setup_telemetry(engine);
   engine.run();
+  if (tel_) tel_->trace().end("transfer", "run", engine.now());
+  log::info("transfer done: %.2f Gbps delivered, %.0f segments retransmitted",
+            units::to_gbps(units::rate_of(total_delivered_,
+                                          units::to_seconds(cfg_.duration))),
+            total_retx_);
+  engine_ = nullptr;
 
   // Flush the trailing partial interval (tick quantization drift).
   if (interval_elapsed_ > 0.5) {
@@ -122,6 +202,8 @@ TransferResult TransferSimulation::run() {
 
 void TransferSimulation::tick(double dt_sec, double now_sec) {
   const double rtt = std::max(path_.spec().rtt_sec(), 1e-6);
+  Instruments* const in = instr_.get();
+  const Nanos now_ns = engine_ ? engine_->now() : units::seconds(now_sec);
   const bool zc_req = cfg_.flow.zerocopy && sender_.zerocopy_available();
   const bool qdisc_can_pace =
       cfg_.sender.tuning.sysctl.default_qdisc == kern::QdiscKind::Fq;
@@ -152,6 +234,8 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
 
   // ---- Sender: plan each flow -------------------------------------------
   double snd_app_used = 0.0;
+  // Flow 0's planning intermediates, kept to name the binding constraint.
+  double f0_wnd_desired = 0.0, f0_paced_desired = 0.0, f0_cpu_cap = 0.0;
   for (auto& f : flows_) {
     update_jitter(f);
 
@@ -187,6 +271,11 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
     const double cpu_cap = snd_app_budget * f.share_jitter /
                            std::max(f.tx_app_cyc_per_byte, 1e-9);
     f.planned_bytes = std::min(desired, cpu_cap);
+    if (in && &f == &flows_[0]) {
+      f0_wnd_desired = wnd * dt_sec / rtt;
+      f0_paced_desired = desired;
+      f0_cpu_cap = cpu_cap;
+    }
   }
 
   // ---- Sender: shared resource scaling ----------------------------------
@@ -203,10 +292,11 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
     mc.zc_fraction = zc_req ? 1.0 : 0.0;  // approximate: zc flows mostly zc
     total_mem_need += f.planned_bytes * snd_cost_->tx_mem_passes(mc);
   }
-  double s = scale_factor(total_irq_need, snd_irq_budget);
-  s = std::min(s, scale_factor(total_planned, line_bytes));
-  s = std::min(s, scale_factor(total_planned, snd_dma_bytes));
-  s = std::min(s, scale_factor(total_mem_need, snd_mem_budget));
+  const double s_irq = scale_factor(total_irq_need, snd_irq_budget);
+  const double s_line = scale_factor(total_planned, line_bytes);
+  const double s_dma = scale_factor(total_planned, snd_dma_bytes);
+  const double s_mem = scale_factor(total_mem_need, snd_mem_budget);
+  const double s = std::min(std::min(s_irq, s_line), std::min(s_dma, s_mem));
 
   double snd_irq_used = 0.0;
   const bool paced_traffic = fq_rate > 0.0 || flows_[0].cc->self_paced();
@@ -224,6 +314,57 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
     snd_app_used += f.sent_bytes * f.tx_app_cyc_per_byte;
     snd_irq_used += f.sent_bytes * tx_irq_pb;
     group_sent += f.sent_bytes;
+  }
+
+  if (in) {
+    // Optmem occupancy peaks here — charges are live between plan_send and
+    // the ACK release at the end of the round, which is the in-flight
+    // charge a real `ss`/optmem probe would observe.
+    double used = 0.0, zc_delta = 0.0, fb_delta = 0.0;
+    std::uint64_t fb_sends = 0;
+    for (const auto& f : flows_) {
+      used += f.zc_socket.optmem_used();
+      zc_delta += f.zc_planned;
+      fb_delta += f.fb_planned;
+      if (f.fb_planned > 0) ++fb_sends;
+    }
+    in->optmem_used->set(used);
+    in->optmem_frac_hist->add(
+        100.0 * used / std::max(cfg_.sender.tuning.sysctl.optmem_max, 1.0), dt_sec);
+    in->zc_bytes->add(zc_delta);
+    in->fb_bytes->add(fb_delta);
+    in->fb_events->add(static_cast<double>(fb_sends));
+    const bool falling_back = fb_delta > 0;
+    if (falling_back && !in->in_fallback) {
+      tel_->trace().instant("zc_fallback", "zerocopy", now_ns, 0,
+                            {{"optmem_used_bytes", used},
+                             {"fallback_bytes", fb_delta}});
+    } else if (!falling_back && in->in_fallback) {
+      tel_->trace().instant("zc_fallback_end", "zerocopy", now_ns, 0);
+    }
+    in->in_fallback = falling_back;
+
+    // Name the constraint that bounded this round's send.
+    obs::RoundLimit cause = obs::RoundLimit::Window;
+    if (f0_cpu_cap < f0_paced_desired) {
+      cause = obs::RoundLimit::AppCpu;
+    } else if (f0_paced_desired < 0.999 * f0_wnd_desired) {
+      cause = obs::RoundLimit::Pacing;
+    }
+    if (s < 0.9995) {
+      cause = obs::RoundLimit::IrqCpu;
+      double worst = s_irq;
+      if (s_line < worst) { cause = obs::RoundLimit::LineRate; worst = s_line; }
+      if (s_dma < worst) { cause = obs::RoundLimit::Dma; worst = s_dma; }
+      if (s_mem < worst) { cause = obs::RoundLimit::MemBw; worst = s_mem; }
+    }
+    in->limit_code->set(static_cast<double>(cause));
+    in->limit_ticks[static_cast<int>(cause)]->increment();
+    if (cause != in->last_limit) {
+      tel_->trace().instant("limit_change", "cpu", now_ns, 0,
+                            {{"code", static_cast<double>(cause)}});
+      in->last_limit = cause;
+    }
   }
 
   // ---- Path transit (aggregate) ------------------------------------------
@@ -261,6 +402,16 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
     }
   }
   last_trim_frac_ = path_trim_frac;
+  if (in) {
+    in->path_drops->add(transit.dropped_bytes);
+    in->trim_frac->set(path_trim_frac);
+    const bool trimming = path_trim_frac > 1e-9;
+    if (trimming && !in->in_trim) {
+      tel_->trace().instant("burst_trimmed", "path", now_ns, 0,
+                            {{"trim_frac", path_trim_frac}});
+    }
+    in->in_trim = trimming;
+  }
   if (transit.dropped_bytes > 0) {
     if (paced_traffic || flows_.size() == 1) {
       // Symmetric flows absorb path drops proportionally.
@@ -319,12 +470,17 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
   const double rx_mem_passes = rcv_cost_->rx_mem_passes(rxc);
 
   double total_accepted = 0.0;
+  double tick_nic_drops = 0.0, tick_ring_occ = 0.0;
+  bool tick_pause = false;
   for (auto& f : flows_) {
     net::RxArrival arr;
     arr.bytes = f.arrived_bytes;
     arr.paced = paced_traffic;
     const auto verdict = nic_rx.process(arr, dt_sec, rtt);
     dropped_nic_ += verdict.dropped_bytes;
+    tick_nic_drops += verdict.dropped_bytes;
+    tick_ring_occ = std::max(tick_ring_occ, verdict.ring_occupancy_frac);
+    tick_pause = tick_pause || verdict.pause_frames_sent;
     pause_seen_ = pause_seen_ || verdict.pause_frames_sent;
     f.lost_bytes += verdict.dropped_bytes;
     if (verdict.pause_frames_sent) {
@@ -354,6 +510,7 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
     total_accepted = rx_host_cap;
     if (cfg_.link_flow_control) {
       pause_seen_ = true;
+      tick_pause = true;
     } else if (rng_.bernoulli(std::min((overload - 1.0) * dt_sec, 0.5))) {
       // Transient ring overrun: one flow eats a modest burst loss.
       auto& victim = flows_[static_cast<std::size_t>(
@@ -361,7 +518,22 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
       const double burst = std::min(victim.arrived_bytes, 40.0 * mtu);
       victim.lost_bytes += burst;
       dropped_nic_ += burst;
+      tick_nic_drops += burst;
+      tick_ring_occ = 1.0;
     }
+  }
+  if (in) {
+    in->ring_occupancy->set(tick_ring_occ);
+    in->nic_drops->add(tick_nic_drops);
+    if (tick_nic_drops > 0) {
+      tel_->trace().instant("ring_overflow", "nic", now_ns, 0,
+                            {{"dropped_bytes", tick_nic_drops}});
+    }
+    if (tick_pause) in->pause_ticks->increment();
+    if (tick_pause && !in->pause_active) {
+      tel_->trace().instant("pause_frames", "nic", now_ns, 0);
+    }
+    in->pause_active = tick_pause;
   }
 
   // ---- Receiver app drain --------------------------------------------------
@@ -378,12 +550,15 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
   total_delivered_ += interval_bytes_this_tick;
 
   // ---- ACK / loss feedback ------------------------------------------------
+  double tick_retx = 0.0, tick_cc_loss_bytes = 0.0;
+  int tick_cc_loss_flows = 0;
   for (auto& f : flows_) {
     const double acked = f.arrived_bytes;
     const double lost = f.lost_bytes;
     if (lost > 0.5 * mss()) {
       f.retransmit_segments += lost / mss();
       total_retx_ += lost / mss();
+      tick_retx += lost / mss();
       // Small loss bursts recover through limited transmit / PRR without a
       // multiplicative decrease; only substantial loss events (more than a
       // NAPI batch worth of segments AND a visible share of the round)
@@ -394,6 +569,8 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
           32.0 * mss() * std::clamp(dt_sec / 0.063, 0.01, 1.0);
       if (lost > std::max(md_floor, 0.0025 * f.sent_bytes)) {
         f.cc->on_loss(now_sec, lost);
+        ++tick_cc_loss_flows;
+        tick_cc_loss_bytes += lost;
       }
     }
     if (acked > 0) {
@@ -417,12 +594,64 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
   // ---- Utilization bookkeeping -------------------------------------------
   // Jitter lets a flow momentarily exceed its nominal budget; mpstat would
   // still read 100%, so clamp.
-  snd_app_util_.add(std::min(
-      snd_app_used / (snd_app_budget * static_cast<double>(flows_.size())), 1.0));
-  snd_irq_util_.add(std::min(snd_irq_used / snd_irq_budget, 1.0));
-  rcv_app_util_.add(std::min(
-      rcv_app_used / (rcv_app_budget * static_cast<double>(flows_.size())), 1.0));
-  rcv_irq_util_.add(std::min(total_accepted * rx_irq_pb / rcv_irq_budget, 1.0));
+  const double snd_app_u = std::min(
+      snd_app_used / (snd_app_budget * static_cast<double>(flows_.size())), 1.0);
+  const double snd_irq_u = std::min(snd_irq_used / snd_irq_budget, 1.0);
+  const double rcv_app_u = std::min(
+      rcv_app_used / (rcv_app_budget * static_cast<double>(flows_.size())), 1.0);
+  const double rcv_irq_u = std::min(total_accepted * rx_irq_pb / rcv_irq_budget, 1.0);
+  snd_app_util_.add(snd_app_u);
+  snd_irq_util_.add(snd_irq_u);
+  rcv_app_util_.add(rcv_app_u);
+  rcv_irq_util_.add(rcv_irq_u);
+
+  if (in) {
+    auto& trace = tel_->trace();
+    in->retx->add(tick_retx);
+    if (tick_cc_loss_flows > 0) {
+      trace.instant("cc_loss", "tcp", now_ns, 0,
+                    {{"flows", static_cast<double>(tick_cc_loss_flows)},
+                     {"lost_bytes", tick_cc_loss_bytes}});
+    }
+    const FlowState& f0 = flows_[0];
+    const bool ss_now = f0.cc->in_slow_start();
+    if (ss_now != in->flow0_slow_start) {
+      trace.instant(ss_now ? "cc_enter_slow_start" : "cc_exit_slow_start", "tcp",
+                    now_ns, 0, {{"cwnd_bytes", f0.cc->cwnd_bytes()}});
+      in->flow0_slow_start = ss_now;
+    }
+    in->cwnd->set(f0.cc->cwnd_bytes());
+    in->ssthresh->set(f0.cc->ssthresh_bytes());
+    in->slow_start->set(ss_now ? 1.0 : 0.0);
+    in->srtt->set(f0.rtt.srtt_sec());
+    double pace = cfg_.flow.fq_rate_bps;
+    const double cc_pace = f0.cc->pacing_rate_bps();
+    if (cc_pace > 0.0) pace = pace > 0.0 ? std::min(pace, cc_pace) : cc_pace;
+    in->pacing_rate->set(pace);
+    in->cwnd_hist->add(f0.cc->cwnd_bytes(), dt_sec);
+
+    double backlog = 0.0;
+    for (const auto& f : flows_) backlog += f.rcv_backlog_bytes;
+    in->rcv_backlog->set(backlog);
+    in->goodput->set(units::rate_of(interval_bytes_this_tick, dt_sec));
+    in->sent_rate->set(units::rate_of(group_sent, dt_sec));
+    in->snd_app->set(snd_app_u);
+    in->snd_irq->set(snd_irq_u);
+    in->rcv_app->set(rcv_app_u);
+    in->rcv_irq->set(rcv_irq_u);
+
+    // Round span (first max_round_spans rounds only; instants/counters keep
+    // flowing for the whole run).
+    if (in->rounds < tel_->config().max_round_spans) {
+      const Nanos round_start =
+          std::max<Nanos>(now_ns - static_cast<Nanos>(dt_sec * 1e9), 0);
+      trace.begin("round", "round", round_start, 0,
+                  {{"sent_bytes", group_sent},
+                   {"delivered_bytes", interval_bytes_this_tick}});
+      trace.end("round", "round", now_ns, 0);
+    }
+    ++in->rounds;
+  }
 
   // ---- 1-second interval series -------------------------------------------
   interval_accum_bytes_ += interval_bytes_this_tick;

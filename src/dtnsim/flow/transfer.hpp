@@ -17,10 +17,15 @@
 #include "dtnsim/host/host.hpp"
 #include "dtnsim/kern/zc_socket.hpp"
 #include "dtnsim/net/path.hpp"
+#include "dtnsim/obs/telemetry.hpp"
 #include "dtnsim/tcp/cc.hpp"
 #include "dtnsim/tcp/rtt.hpp"
 #include "dtnsim/util/rng.hpp"
 #include "dtnsim/util/stats.hpp"
+
+namespace dtnsim::sim {
+class Engine;
+}
 
 namespace dtnsim::flow {
 
@@ -40,6 +45,10 @@ struct TransferConfig {
   bool link_flow_control = false;      // IEEE 802.3x on the receiver's link
   Nanos duration = units::seconds(60);
   std::uint64_t seed = 1;
+  // Optional, non-owning observability sink. When set, the run registers
+  // its metrics there, arms the interval probe on the engine, and records
+  // trace events; when null the cost is one branch per tick.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct CpuUtilization {
@@ -99,9 +108,53 @@ class TransferSimulation {
     double lost_bytes = 0.0;
   };
 
+  // Metric handles and trace edge-detection state, built only when a
+  // Telemetry sink is attached (see setup_telemetry).
+  struct Instruments {
+    // tcp (flow 0 is the representative stream for window dynamics)
+    obs::Gauge* cwnd = nullptr;
+    obs::Gauge* ssthresh = nullptr;
+    obs::Gauge* pacing_rate = nullptr;
+    obs::Gauge* srtt = nullptr;
+    obs::Gauge* slow_start = nullptr;
+    obs::Counter* retx = nullptr;
+    obs::TimeWeightedHistogram* cwnd_hist = nullptr;
+    // zerocopy (summed across flows' sockets)
+    obs::Gauge* optmem_used = nullptr;
+    obs::Gauge* optmem_max = nullptr;
+    obs::Counter* zc_bytes = nullptr;
+    obs::Counter* fb_bytes = nullptr;
+    obs::Counter* fb_events = nullptr;
+    obs::TimeWeightedHistogram* optmem_frac_hist = nullptr;
+    // net
+    obs::Gauge* ring_occupancy = nullptr;
+    obs::Counter* nic_drops = nullptr;
+    obs::Counter* pause_ticks = nullptr;
+    obs::Counter* path_drops = nullptr;
+    obs::Gauge* trim_frac = nullptr;
+    // flow / cpu
+    obs::Gauge* goodput = nullptr;
+    obs::Gauge* sent_rate = nullptr;
+    obs::Gauge* rcv_backlog = nullptr;
+    obs::Gauge* snd_app = nullptr;
+    obs::Gauge* snd_irq = nullptr;
+    obs::Gauge* rcv_app = nullptr;
+    obs::Gauge* rcv_irq = nullptr;
+    obs::Gauge* limit_code = nullptr;
+    obs::Counter* limit_ticks[8] = {};  // indexed by RoundLimit
+    // Trace edge detection
+    obs::RoundLimit last_limit = obs::RoundLimit::None;
+    bool in_fallback = false;
+    bool in_trim = false;
+    bool pause_active = false;
+    bool flow0_slow_start = true;
+    std::uint64_t rounds = 0;
+  };
+
   void tick(double dt_sec, double now_sec);
   void update_jitter(FlowState& f);
   double mss() const;
+  void setup_telemetry(sim::Engine& engine);
 
   TransferConfig cfg_;
   host::Host sender_;
@@ -127,6 +180,10 @@ class TransferSimulation {
   std::vector<double> interval_bps_;
   double interval_accum_bytes_ = 0.0;
   double interval_elapsed_ = 0.0;
+
+  obs::Telemetry* tel_ = nullptr;           // == cfg_.telemetry during run()
+  std::unique_ptr<Instruments> instr_;
+  sim::Engine* engine_ = nullptr;           // valid during run()
 };
 
 // Convenience one-shot runner.

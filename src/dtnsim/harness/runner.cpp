@@ -40,7 +40,20 @@ TestResult run_test(const TestSpec& spec) {
 
   for (int r = 0; r < out.repeats; ++r) {
     cfg.seed = seeder.substream(static_cast<unsigned>(r)).next();
+    std::shared_ptr<obs::Telemetry> tel;
+    if (spec.telemetry.enabled) {
+      tel = std::make_shared<obs::Telemetry>(spec.telemetry);
+      cfg.telemetry = tel.get();
+    }
     const flow::TransferResult res = flow::run_transfer(cfg);
+    if (tel) {
+      out.repeat_series.push_back(tel->series());
+      if (r == 0) {
+        // Aliasing shared_ptr: the result's trace keeps the Telemetry alive.
+        out.trace = std::shared_ptr<const obs::TraceSink>(tel, &tel->trace());
+      }
+      cfg.telemetry = nullptr;
+    }
 
     const double gbps = units::to_gbps(res.throughput_bps);
     tput.add(gbps);

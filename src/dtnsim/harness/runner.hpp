@@ -7,11 +7,13 @@
 // paper's tables print.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "dtnsim/app/iperf.hpp"
 #include "dtnsim/harness/testbeds.hpp"
+#include "dtnsim/obs/telemetry.hpp"
 
 namespace dtnsim::harness {
 
@@ -24,6 +26,10 @@ struct TestSpec {
   bool link_flow_control = false;
   int repeats = 10;
   std::uint64_t base_seed = 0x5eed;
+  // Telemetry knob: when enabled, every repeat runs with an interval probe
+  // and trace sink; the per-repeat series and repeat 0's trace land on the
+  // TestResult (the iperf3 `-i 1` + ss/ethtool side channel, always wired).
+  obs::TelemetryConfig telemetry;
 
   // Convenience: build a spec from a testbed + path name.
   static TestSpec on(const Testbed& tb, const std::string& path_name,
@@ -50,6 +56,11 @@ struct TestResult {
   double zc_fallback_ratio = 0.0;  // fraction of zerocopy bytes that fell back
 
   std::vector<double> samples_gbps;  // one per repeat (released raw data)
+
+  // Populated only when spec.telemetry.enabled: one probe series per repeat
+  // and the trace of repeat 0 (shared_ptr keeps the Telemetry alive).
+  std::vector<obs::SeriesTable> repeat_series;
+  std::shared_ptr<const obs::TraceSink> trace;
 };
 
 TestResult run_test(const TestSpec& spec);

@@ -30,10 +30,12 @@ ZcTxSocket::SendPlan ZcTxSocket::plan_send(double bytes, double superpkt_bytes) 
   if (plan.zc_bytes > 0) {
     const double charge = plan.zc_bytes * charge_per_byte;
     optmem_used_ += charge;
+    peak_optmem_used_ = std::max(peak_optmem_used_, optmem_used_);
     inflight_zc_bytes_ += plan.zc_bytes;
     inflight_.push_back(Chunk{plan.zc_bytes, charge});
     total_zc_ += plan.zc_bytes;
   }
+  if (plan.fallback_bytes > 0) ++fallback_events_;
   total_fallback_ += plan.fallback_bytes;
   return plan;
 }

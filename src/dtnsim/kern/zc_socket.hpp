@@ -55,6 +55,10 @@ class ZcTxSocket {
   double total_zc_bytes() const { return total_zc_; }
   double total_fallback_bytes() const { return total_fallback_; }
   std::uint64_t completions() const { return completions_; }
+  // High-water mark of optmem occupancy and the number of plan_send calls
+  // that had to fall back — the observability layer's saturation signals.
+  double peak_optmem_used() const { return peak_optmem_used_; }
+  std::uint64_t fallback_events() const { return fallback_events_; }
 
  private:
   struct Chunk {
@@ -64,6 +68,8 @@ class ZcTxSocket {
 
   double optmem_max_;
   double optmem_used_ = 0.0;
+  double peak_optmem_used_ = 0.0;
+  std::uint64_t fallback_events_ = 0;
   double inflight_zc_bytes_ = 0.0;
   double total_zc_ = 0.0;
   double total_fallback_ = 0.0;

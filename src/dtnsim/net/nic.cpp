@@ -69,6 +69,15 @@ RxVerdict NicRx::process(const RxArrival& arrival, double dt_sec, double rtt_sec
   const double tolerable =
       arrival.paced ? paced_tolerable_bps() : unpaced_tolerable_bps(rtt_sec);
 
+  // Peak backlog the ring sees this tick: what arrives beyond the smooth
+  // drain piles up in descriptors until it overflows the usable credit.
+  const double drain =
+      (arrival.paced ? spec_.drain_smooth_bps : spec_.drain_burst_bps) / 8.0 * dt_sec;
+  const double backlog = std::max(arrival.bytes - drain, 0.0);
+  const double usable_ring = ring_bytes_ * kRingCreditFactor;
+  v.ring_occupancy_frac =
+      usable_ring > 0 ? std::min(backlog / usable_ring, 1.0) : 0.0;
+
   if (rate_bps <= tolerable) {
     v.accepted_bytes = arrival.bytes;
     return v;

@@ -46,6 +46,10 @@ struct RxVerdict {
   double accepted_bytes = 0.0;
   double dropped_bytes = 0.0;
   bool pause_frames_sent = false;
+  // Modeled peak ring occupancy during the tick, as a fraction of ring
+  // capacity in [0, 1]. 1.0 means the backlog hit the ring limit (drops or
+  // pause frames follow). Exported by the observability probe.
+  double ring_occupancy_frac = 0.0;
 };
 
 class NicRx {

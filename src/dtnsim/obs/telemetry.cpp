@@ -1,0 +1,27 @@
+#include "dtnsim/obs/telemetry.hpp"
+
+namespace dtnsim::obs {
+
+const char* round_limit_name(RoundLimit limit) {
+  switch (limit) {
+    case RoundLimit::None:
+      return "none";
+    case RoundLimit::Window:
+      return "window";
+    case RoundLimit::Pacing:
+      return "pacing";
+    case RoundLimit::AppCpu:
+      return "app_cpu";
+    case RoundLimit::IrqCpu:
+      return "irq_cpu";
+    case RoundLimit::LineRate:
+      return "line_rate";
+    case RoundLimit::Dma:
+      return "dma";
+    case RoundLimit::MemBw:
+      return "mem_bw";
+  }
+  return "?";
+}
+
+}  // namespace dtnsim::obs

@@ -1,0 +1,63 @@
+// Telemetry bundle: one Registry + TraceSink + FlowProbe per simulation run.
+//
+// TransferSimulation takes an optional non-owning Telemetry*; when present
+// it registers its metrics, emits trace events, and arms the probe on the
+// run's engine. When absent (the default) the instrumentation costs one
+// branch per tick — cheap enough to leave compiled in everywhere.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "dtnsim/obs/metrics.hpp"
+#include "dtnsim/obs/probe.hpp"
+#include "dtnsim/obs/trace.hpp"
+
+namespace dtnsim::obs {
+
+struct TelemetryConfig {
+  bool enabled = false;
+  Nanos probe_interval = units::seconds(1);  // iperf3's -i 1 analogue
+  std::size_t trace_capacity = 1 << 16;      // ring: most recent events kept
+  // Cap on per-round Begin/End span pairs recorded to the trace; rounds
+  // beyond the cap still emit instants/counters (LAN runs tick ~300k times
+  // per simulated minute, which would drown the ring in span pairs).
+  std::size_t max_round_spans = 128;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig cfg = {})
+      : cfg_(cfg), trace_(cfg.trace_capacity), probe_(&registry_, cfg.probe_interval, &trace_) {}
+
+  const TelemetryConfig& config() const { return cfg_; }
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  TraceSink& trace() { return trace_; }
+  const TraceSink& trace() const { return trace_; }
+  FlowProbe& probe() { return probe_; }
+  const SeriesTable& series() const { return probe_.series(); }
+
+ private:
+  TelemetryConfig cfg_;
+  Registry registry_;
+  TraceSink trace_;
+  FlowProbe probe_;
+};
+
+// The sender-side constraint that bounded a round's achievable bytes —
+// the paper's recurring "what is the bottleneck *right now*" question.
+enum class RoundLimit {
+  None = 0,
+  Window,    // cwnd / rwnd / wmem
+  Pacing,    // fq-rate or BBR pacing
+  AppCpu,    // per-flow application-core cycles
+  IrqCpu,    // shared IRQ-pool cycles
+  LineRate,  // NIC line rate
+  Dma,       // PCIe/IOMMU DMA ceiling
+  MemBw,     // stack memory bandwidth
+};
+
+const char* round_limit_name(RoundLimit limit);
+
+}  // namespace dtnsim::obs

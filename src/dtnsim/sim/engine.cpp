@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dtnsim/util/log.hpp"
+
 namespace dtnsim::sim {
 
 EventHandle Engine::schedule(Nanos delay, EventQueue::Callback fn) {
@@ -13,6 +15,9 @@ EventHandle Engine::schedule_at(Nanos when, EventQueue::Callback fn) {
 }
 
 void Engine::run() {
+  // Log lines emitted from event callbacks carry the simulated clock so
+  // they line up with probe samples and trace timestamps.
+  log::ScopedTimeSource clock([this] { return now_; });
   Nanos t = 0;
   while (auto fn = queue_.pop(&t)) {
     now_ = t;
@@ -22,6 +27,7 @@ void Engine::run() {
 }
 
 void Engine::run_until(Nanos until) {
+  log::ScopedTimeSource clock([this] { return now_; });
   while (!queue_.empty() && queue_.next_time() <= until) {
     Nanos t = 0;
     auto fn = queue_.pop(&t);

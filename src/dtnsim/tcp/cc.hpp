@@ -23,6 +23,9 @@ class CongestionControl {
   virtual void on_loss(double now_sec, double lost_bytes) = 0;
 
   virtual double cwnd_bytes() const = 0;
+  // Slow-start threshold in bytes; 0 means "not meaningful" (BBR).
+  // Observability reads this for the ss-style cwnd/ssthresh time series.
+  virtual double ssthresh_bytes() const { return 0.0; }
   // Self-imposed pacing rate in bits/s; 0 means "window-clocked only".
   virtual double pacing_rate_bps() const { return 0.0; }
   // Whether the algorithm's own pacing smooths its wire bursts.

@@ -13,6 +13,7 @@ class Reno final : public CongestionControl {
   void on_loss(double now_sec, double lost_bytes) override;
 
   double cwnd_bytes() const override { return cwnd_mss_ * mss_; }
+  double ssthresh_bytes() const override { return ssthresh_mss_ * mss_; }
   bool in_slow_start() const override { return cwnd_mss_ < ssthresh_mss_; }
   const char* name() const override { return "reno"; }
 

@@ -1,7 +1,9 @@
 #include "dtnsim/util/log.hpp"
 
+#include <cctype>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 #include "dtnsim/util/strfmt.hpp"
 
@@ -9,6 +11,24 @@ namespace dtnsim::log {
 namespace {
 
 Level g_level = Level::Warn;
+bool g_env_checked = false;
+TimeSource g_time_source;
+
+// One-time DTNSIM_LOG pickup; an explicit set_level() also marks the env as
+// consumed so callers always win over the environment.
+void ensure_env_level() {
+  if (g_env_checked) return;
+  g_env_checked = true;
+  const char* env = std::getenv("DTNSIM_LOG");
+  if (!env || !*env) return;
+  Level parsed;
+  if (parse_level(env, &parsed)) {
+    g_level = parsed;
+  } else {
+    std::fprintf(stderr, "[dtnsim WARN] DTNSIM_LOG=%s not recognized "
+                         "(debug|info|warn|error|off)\n", env);
+  }
+}
 
 const char* level_name(Level level) {
   switch (level) {
@@ -28,17 +48,48 @@ const char* level_name(Level level) {
 
 }  // namespace
 
-void set_level(Level level) { g_level = level; }
-Level level() { return g_level; }
+bool parse_level(const std::string& name, Level* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "debug") *out = Level::Debug;
+  else if (lower == "info") *out = Level::Info;
+  else if (lower == "warn" || lower == "warning") *out = Level::Warn;
+  else if (lower == "error") *out = Level::Error;
+  else if (lower == "off" || lower == "none") *out = Level::Off;
+  else return false;
+  return true;
+}
 
-void write(Level level, const std::string& msg) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[dtnsim %s] %s\n", level_name(level), msg.c_str());
+void set_level(Level level) {
+  g_env_checked = true;
+  g_level = level;
+}
+
+Level level() {
+  ensure_env_level();
+  return g_level;
+}
+
+TimeSource bind_time_source(TimeSource source) {
+  TimeSource previous = std::move(g_time_source);
+  g_time_source = std::move(source);
+  return previous;
+}
+
+void write(Level lvl, const std::string& msg) {
+  if (lvl < level()) return;
+  if (g_time_source) {
+    std::fprintf(stderr, "[dtnsim %s t=%.6fs] %s\n", level_name(lvl),
+                 units::to_seconds(g_time_source()), msg.c_str());
+  } else {
+    std::fprintf(stderr, "[dtnsim %s] %s\n", level_name(lvl), msg.c_str());
+  }
 }
 
 #define DTNSIM_LOG_IMPL(fn, lvl)                 \
   void fn(const char* fmt, ...) {                \
-    if (lvl < g_level) return;                   \
+    if (lvl < level()) return;                   \
     std::va_list args;                           \
     va_start(args, fmt);                         \
     write(lvl, vstrfmt(fmt, args));              \

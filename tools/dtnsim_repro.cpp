@@ -3,14 +3,20 @@
 //   $ dtnsim-repro --list
 //   $ dtnsim-repro fig5 table3 --out data/
 //   $ dtnsim-repro --all --quick --out data/
+//   $ dtnsim-repro fig9 --trace-out trace.json --metrics-out flow.csv
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dtnsim/harness/experiments.hpp"
 #include "dtnsim/harness/plot.hpp"
+#include "dtnsim/obs/probe.hpp"
+#include "dtnsim/obs/trace.hpp"
 #include "dtnsim/util/strfmt.hpp"
 
 namespace {
@@ -56,18 +62,46 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> ids;
   std::string out_dir = ".";
+  std::string metrics_out, trace_out;
+  double probe_interval_sec = 1.0;
   bool list = false, all = false, quick = false;
   for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
+    std::string flag = argv[i];
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = flag.rfind("--", 0) == 0 ? flag.find('=') : std::string::npos;
+    if (eq != std::string::npos) {
+      value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+      has_value = true;
+    }
+    auto take_value = [&]() -> bool {
+      if (has_value) return true;
+      if (i + 1 >= argc) return false;
+      value = argv[++i];
+      return true;
+    };
     if (flag == "--list") list = true;
     else if (flag == "--all") all = true;
     else if (flag == "--quick") quick = true;
-    else if (flag == "--out" && i + 1 < argc) out_dir = argv[++i];
-    else if (flag == "-h" || flag == "--help") {
+    else if (flag == "--out" && take_value()) out_dir = value;
+    else if (flag == "--metrics-out" && take_value()) metrics_out = value;
+    else if (flag == "--trace-out" && take_value()) trace_out = value;
+    else if (flag == "--probe-interval" && take_value()) {
+      probe_interval_sec = std::atof(value.c_str());
+      if (probe_interval_sec <= 0) {
+        std::fprintf(stderr, "probe interval must be positive\n");
+        return 2;
+      }
+    } else if (flag == "-h" || flag == "--help") {
       std::printf("dtnsim-repro [--list] [--all] [--quick] [--out DIR] [ids...]\n"
+                  "             [--metrics-out F] [--trace-out F] [--probe-interval S]\n"
                   "Runs the paper's experiments and writes <id>_raw.csv,\n"
                   "<id>_summary.csv and <id>.json per experiment.\n"
-                  "--quick: 20 s x 3 repeats instead of the paper's 60 s x 10.\n");
+                  "--quick: 20 s x 3 repeats instead of the paper's 60 s x 10.\n"
+                  "--metrics-out: per-interval telemetry series (all tests) as CSV.\n"
+                  "--trace-out: chrome://tracing / Perfetto trace_event JSON.\n"
+                  "--probe-interval: telemetry cadence in seconds (default 1).\n");
       return 0;
     } else if (!flag.empty() && flag[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
@@ -76,6 +110,7 @@ int main(int argc, char** argv) {
       ids.push_back(flag);
     }
   }
+  const bool telemetry = !metrics_out.empty() || !trace_out.empty();
 
   if (list || (ids.empty() && !all)) {
     std::printf("%-18s %s\n", "id", "experiment");
@@ -94,6 +129,16 @@ int main(int argc, char** argv) {
   const double duration = quick ? 20.0 : 60.0;
   const int repeats = quick ? 3 : 10;
   int failures = 0;
+  // Telemetry accumulated across every test of every experiment; written
+  // once at the end as a merged CSV / merged chrome trace.
+  struct OwnedSeries {
+    std::string test;
+    int repeat;
+    dtnsim::obs::SeriesTable series;
+  };
+  std::vector<OwnedSeries> all_series;
+  std::vector<std::pair<std::string, std::shared_ptr<const dtnsim::obs::TraceSink>>>
+      all_traces;
   for (const auto& id : ids) {
     const auto* def = find_experiment(id);
     if (!def) {
@@ -108,8 +153,18 @@ int main(int argc, char** argv) {
     for (auto spec : specs) {
       spec.iperf.duration_sec = duration;
       if (spec.repeats == 10) spec.repeats = repeats;
+      if (telemetry) {
+        spec.telemetry.enabled = true;
+        spec.telemetry.probe_interval = dtnsim::units::seconds(probe_interval_sec);
+      }
       results.push_back(run_test(spec));
       ds.add(results.back());
+      auto& res = results.back();
+      for (std::size_t r = 0; r < res.repeat_series.size(); ++r) {
+        all_series.push_back(
+            {spec.name, static_cast<int>(r), std::move(res.repeat_series[r])});
+      }
+      if (res.trace) all_traces.emplace_back(spec.name, res.trace);
     }
     if (!ds.write_to(out_dir)) {
       std::fprintf(stderr, "  failed to write dataset to %s\n", out_dir.c_str());
@@ -120,6 +175,28 @@ int main(int argc, char** argv) {
     std::printf("  wrote %s/%s_{raw,summary}.csv and %s.json (%zu tests)%s\n",
                 out_dir.c_str(), def->id.c_str(), def->id.c_str(), ds.size(),
                 fig ? dtnsim::strfmt(" + %s.dat/.gp", def->id.c_str()).c_str() : "");
+  }
+  if (!metrics_out.empty()) {
+    std::vector<dtnsim::obs::LabeledSeries> labeled;
+    labeled.reserve(all_series.size());
+    for (const auto& s : all_series) labeled.push_back({s.test, s.repeat, &s.series});
+    if (dtnsim::obs::write_merged_series_csv(metrics_out, labeled)) {
+      std::printf("wrote %s (%zu series)\n", metrics_out.c_str(), labeled.size());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", metrics_out.c_str());
+      ++failures;
+    }
+  }
+  if (!trace_out.empty()) {
+    std::vector<std::pair<std::string, const dtnsim::obs::TraceSink*>> sinks;
+    sinks.reserve(all_traces.size());
+    for (const auto& [label, sink] : all_traces) sinks.emplace_back(label, sink.get());
+    if (dtnsim::obs::write_merged_chrome_trace(trace_out, sinks)) {
+      std::printf("wrote %s (%zu traces)\n", trace_out.c_str(), sinks.size());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+      ++failures;
+    }
   }
   return failures == 0 ? 0 : 1;
 }
