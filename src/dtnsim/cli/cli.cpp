@@ -56,7 +56,7 @@ bool needs_value(const std::string& flag) {
          flag == "--testbed" || flag == "--path" || flag == "--kernel" ||
          flag == "--optmem" || flag == "--ring" || flag == "--repeats" ||
          flag == "--seed" || flag == "--probe-interval" || flag == "--metrics-out" ||
-         flag == "--trace-out";
+         flag == "--trace-out" || flag == "--trace-stream";
 }
 
 }  // namespace
@@ -182,6 +182,8 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       o.metrics_out = value;
     } else if (flag == "--trace-out") {
       o.trace_out = value;
+    } else if (flag == "--trace-stream") {
+      o.trace_stream = value;
     } else {
       o.error = "unknown flag: " + flag;
       return o;
@@ -214,7 +216,9 @@ std::string cli_help() {
       "observability flags (docs/OBSERVABILITY.md):\n"
       "      --probe-interval S telemetry sampling cadence in seconds (default 1)\n"
       "      --metrics-out F    write per-interval metric series as CSV\n"
-      "      --trace-out F      write chrome://tracing / Perfetto JSON trace\n";
+      "      --trace-out F      write chrome://tracing / Perfetto JSON trace\n"
+      "      --trace-stream F   stream every trace event to F as it happens\n"
+      "                         (no ring-capacity ceiling; first repeat only)\n";
 }
 
 harness::TestSpec spec_from_cli(const CliOptions& opts) {
@@ -243,9 +247,11 @@ harness::TestSpec spec_from_cli(const CliOptions& opts) {
     }
     if (opts.ring > 0) h->tuning.ring_descriptors = opts.ring;
   }
-  if (!opts.metrics_out.empty() || !opts.trace_out.empty()) {
+  if (!opts.metrics_out.empty() || !opts.trace_out.empty() ||
+      !opts.trace_stream.empty()) {
     spec.telemetry.enabled = true;
     spec.telemetry.probe_interval = units::seconds(opts.probe_interval_sec);
+    spec.telemetry.trace_stream_path = opts.trace_stream;
   }
   return spec;
 }
@@ -287,6 +293,9 @@ int run_cli(const CliOptions& opts, std::string& output) {
       return 1;
     }
     telemetry_note += strfmt("  trace      : %s\n", opts.trace_out.c_str());
+  }
+  if (!opts.trace_stream.empty()) {
+    telemetry_note += strfmt("  stream     : %s\n", opts.trace_stream.c_str());
   }
 
   if (opts.iperf.json) {

@@ -23,6 +23,7 @@
 //   --probe-interval SEC    telemetry sampling cadence (iperf3 -i analogue)
 //   --metrics-out PATH      per-interval metric series -> CSV
 //   --trace-out PATH        chrome://tracing / Perfetto trace_event JSON
+//   --trace-stream PATH     stream events to PATH as recorded (no capacity cap)
 // Long flags also accept --flag=value.
 #pragma once
 
@@ -59,6 +60,7 @@ struct CliOptions {
   double probe_interval_sec = 1.0;
   std::string metrics_out;    // "" -> no CSV series written
   std::string trace_out;      // "" -> no chrome trace written
+  std::string trace_stream;   // "" -> no streamed trace (see StreamingTraceSink)
 };
 
 CliOptions parse_cli(const std::vector<std::string>& args);

@@ -1,0 +1,50 @@
+// Fluid-vs-packet divergence report.
+//
+// The two engines model the same transfer at different granularities: the
+// fluid TransferSimulation clocks RTT rounds for 60-second runs, the packet
+// engine replays every SKB for ~50 ms. When both run the same scenario
+// through one shared obs::Telemetry, the registry ends up holding the fluid
+// families (flow.*, nic.*, path.*) next to the packet family (pkt.*), and
+// this report diffs the observables the engines are supposed to agree on:
+//   - achieved throughput  (delivered bytes over each engine's horizon),
+//   - drop fraction        (lost bytes over offered bytes),
+//   - GRO aggregate size   (mean bytes per aggregate).
+// A large relative difference is the bottleneck-attribution signal: it names
+// the abstraction in the fluid model that breaks at microscopic scale (see
+// bench/packet_divergence.cpp for the calibrated bands).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dtnsim/obs/metrics.hpp"
+
+namespace dtnsim::flow {
+
+struct DivergenceEntry {
+  std::string metric;  // "achieved_bps", "drop_frac", "aggregate_bytes"
+  double fluid = 0.0;
+  double packet = 0.0;
+  // |packet - fluid| / max(|fluid|, |packet|); 0 when both are ~zero.
+  double rel_diff() const;
+};
+
+struct DivergenceReport {
+  std::string scenario;
+  std::vector<DivergenceEntry> entries;
+
+  double worst_rel_diff() const;
+  const DivergenceEntry* find(const std::string& metric) const;
+  // Aligned human-readable table, one metric per line.
+  std::string to_string() const;
+};
+
+// Build the report from a registry that saw a fluid run (flow.*, nic.*,
+// path.* families) followed by a packet run (pkt.*) of the same scenario.
+// The horizons differ by design, so rates are normalized per engine:
+// `fluid_seconds` and `packet_seconds` are each engine's simulated duration.
+DivergenceReport divergence_report(const std::string& scenario,
+                                   const obs::Registry& registry,
+                                   double fluid_seconds, double packet_seconds);
+
+}  // namespace dtnsim::flow

@@ -12,11 +12,35 @@
 namespace dtnsim::flow {
 namespace {
 
+// Metric handles for the pkt.* family, built only when a Telemetry sink is
+// attached — the packet engine's analogue of TransferSimulation's
+// Instruments. Counters/gauges mirror PacketSimResult so a probe series and
+// the final result always agree.
+struct PktInstruments {
+  obs::Gauge* qdisc_backlog = nullptr;         // bytes enqueued, not departed
+  obs::TimeWeightedHistogram* gap_hist = nullptr;
+  obs::Counter* superpackets = nullptr;
+  obs::Counter* segments = nullptr;
+  obs::Gauge* ring_occupancy = nullptr;
+  obs::Gauge* ring_peak = nullptr;
+  obs::Counter* ring_drops = nullptr;
+  obs::Counter* dropped_bytes = nullptr;
+  obs::Counter* napi_polls = nullptr;
+  obs::TimeWeightedHistogram* napi_batch = nullptr;
+  obs::Counter* aggregates = nullptr;
+  obs::TimeWeightedHistogram* agg_hist = nullptr;
+  obs::Counter* delivered = nullptr;
+  obs::Gauge* goodput = nullptr;
+  bool overflowing = false;  // trace edge detection
+};
+
 struct SimState {
   const PacketSimConfig* cfg = nullptr;
   sim::Engine engine;
   net::FqQdisc* qdisc = nullptr;
   kern::GroEngine* gro = nullptr;
+  obs::Telemetry* tel = nullptr;  // null when telemetry is off
+  PktInstruments pkt;
 
   // Geometry / rates.
   double gso_bytes = 0.0;
@@ -42,6 +66,45 @@ struct SimState {
 
 void try_send(SimState& s);
 
+// Register the pkt.* metric family on the shared registry. Names are
+// disjoint from the fluid engine's tcp./zc./net./flow./cpu. families, so a
+// fluid run and a packet run of the same scenario can share one Telemetry
+// and export side by side (the divergence report depends on this).
+void setup_instruments(SimState& s) {
+  auto& reg = s.tel->registry();
+  s.pkt.qdisc_backlog =
+      reg.gauge("pkt.qdisc_backlog_bytes", "bytes",
+                "bytes enqueued in fq and not yet departed");
+  s.pkt.gap_hist =
+      reg.histogram("pkt.interdeparture_gap_ns", "ns",
+                    "super-packet spacing at the qdisc (time-weighted)");
+  s.pkt.superpackets =
+      reg.counter("pkt.superpackets_sent", "packets", "GSO super-packets enqueued");
+  s.pkt.segments =
+      reg.counter("pkt.segments_sent", "segments", "wire segments after GSO split");
+  s.pkt.ring_occupancy =
+      reg.gauge("pkt.ring_occupancy", "descriptors", "RX descriptors in use");
+  s.pkt.ring_peak =
+      reg.gauge("pkt.ring_peak", "descriptors", "max RX descriptors in use");
+  s.pkt.ring_drops =
+      reg.counter("pkt.ring_drops", "segments", "segments lost to ring overrun");
+  s.pkt.dropped_bytes =
+      reg.counter("pkt.dropped_bytes", "bytes", "payload lost to ring overrun");
+  s.pkt.napi_polls = reg.counter("pkt.napi_polls", "polls", "NAPI poll invocations");
+  s.pkt.napi_batch =
+      reg.histogram("pkt.napi_batch_segments", "segments",
+                    "segments taken per NAPI poll (time-weighted by poll cost)");
+  s.pkt.aggregates =
+      reg.counter("pkt.gro_aggregates", "aggregates", "GRO aggregates delivered");
+  s.pkt.agg_hist =
+      reg.histogram("pkt.gro_aggregate_bytes", "bytes",
+                    "GRO aggregate size (event-weighted; mean = mean size)");
+  s.pkt.delivered =
+      reg.counter("pkt.delivered_bytes", "bytes", "payload delivered to the app");
+  s.pkt.goodput =
+      reg.gauge("pkt.goodput_bps", "bps", "delivered rate over elapsed sim time");
+}
+
 void on_ack(SimState& s, double bytes) {
   s.inflight = std::max(s.inflight - bytes, 0.0);
   try_send(s);
@@ -51,6 +114,12 @@ void deliver_aggregate(SimState& s, double agg) {
   s.res.aggregates += 1;
   s.aggregate_bytes_total += agg;
   s.res.delivered_bytes += agg;
+  if (s.tel) {
+    s.pkt.aggregates->increment();
+    s.pkt.delivered->add(agg);
+    // Event-weighted: mean() is the mean aggregate size.
+    s.pkt.agg_hist->add(agg, 1.0);
+  }
   s.engine.schedule(s.half_rtt, [&s, agg] { on_ack(s, agg); });
 }
 
@@ -68,6 +137,10 @@ void napi_poll(SimState& s) {
   const int take = std::min(s.ring_used, s.cfg->napi_budget);
   const Nanos spent =
       std::max<Nanos>(static_cast<Nanos>(take) * s.rx_segment_ns, 1);
+  if (s.tel) {
+    s.pkt.napi_polls->increment();
+    s.pkt.napi_batch->add(static_cast<double>(take), units::to_seconds(spent));
+  }
   s.engine.schedule(spent, [&s, take] {
     for (int i = 0; i < take; ++i) {
       if (auto agg = s.gro->add_segment(s.seg_payload)) deliver_aggregate(s, *agg);
@@ -79,14 +152,31 @@ void napi_poll(SimState& s) {
 }
 
 void on_arrival(SimState& s, int segments) {
+  int dropped = 0;
   for (int i = 0; i < segments; ++i) {
     if (s.ring_used >= s.ring_capacity) {
       s.res.segments_dropped += 1;  // ring overrun: the NIC has nowhere to DMA
+      ++dropped;
       continue;
     }
     s.ring_used += 1;
   }
   s.res.ring_peak = std::max(s.res.ring_peak, s.ring_used);
+  if (s.tel) {
+    s.pkt.ring_occupancy->set(static_cast<double>(s.ring_used));
+    s.pkt.ring_peak->set(static_cast<double>(s.res.ring_peak));
+    if (dropped > 0) {
+      s.pkt.ring_drops->add(static_cast<double>(dropped));
+      s.pkt.dropped_bytes->add(static_cast<double>(dropped) * s.seg_payload);
+      if (!s.pkt.overflowing) {
+        s.tel->trace().instant(
+            "pkt_ring_overflow", "pkt", s.engine.now(), 0,
+            {{"dropped_segments", static_cast<double>(dropped)},
+             {"ring_used", static_cast<double>(s.ring_used)}});
+      }
+    }
+    s.pkt.overflowing = dropped > 0;
+  }
   if (!s.napi_busy && s.ring_used > 0) {
     s.engine.schedule(1, [&s] { napi_poll(s); });
   }
@@ -105,7 +195,14 @@ void try_send(SimState& s) {
 
     const Nanos depart = s.qdisc->enqueue(/*flow=*/1, s.gso_bytes, s.engine.now());
     if (s.last_departure >= 0) {
-      s.gaps.add(static_cast<double>(depart - s.last_departure));
+      const Nanos gap = depart - s.last_departure;
+      s.gaps.add(static_cast<double>(gap));
+      if (s.tel) {
+        // Time-weighted by the gap itself: long silences dominate the mean,
+        // matching how an observer on the wire would see the spacing.
+        s.pkt.gap_hist->add(static_cast<double>(gap),
+                            std::max(units::to_seconds(gap), 1e-12));
+      }
     }
     s.last_departure = depart;
 
@@ -113,6 +210,13 @@ void try_send(SimState& s) {
     s.res.superpackets_sent += 1;
     const int segments = static_cast<int>(std::ceil(s.gso_bytes / s.mss));
     s.res.segments_sent += static_cast<std::uint64_t>(segments);
+    if (s.tel) {
+      s.pkt.superpackets->increment();
+      s.pkt.segments->add(static_cast<double>(segments));
+      // Backlog = bytes enqueued but not yet departed; decays at departure.
+      s.pkt.qdisc_backlog->add(s.gso_bytes);
+      s.engine.schedule_at(depart, [&s] { s.pkt.qdisc_backlog->add(-s.gso_bytes); });
+    }
     s.engine.schedule_at(depart + s.half_rtt, [&s, segments] { on_arrival(s, segments); });
 
     if (s.tx_prep_ns > 0) {
@@ -170,8 +274,33 @@ PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
   kern::GroEngine gro(rcv_caps, mtu);
   s.gro = &gro;
 
+  const Nanos horizon = cfg.duration + cfg.path.rtt * 2;
+  if (cfg.telemetry && cfg.telemetry->config().enabled) {
+    s.tel = cfg.telemetry;
+    setup_instruments(s);
+    s.tel->trace().begin("packet_run", "pkt", 0, 0,
+                         {{"duration_ms", units::to_seconds(cfg.duration) * 1e3},
+                          {"pacing_bps", cfg.pacing_bps},
+                          {"window_bytes", cfg.window_bytes}});
+    s.tel->probe().arm(s.engine, horizon, [&s](Nanos now) {
+      const double sec = units::to_seconds(now);
+      s.pkt.goodput->set(sec > 0.0 ? units::rate_of(s.res.delivered_bytes, sec) : 0.0);
+      s.pkt.ring_occupancy->set(static_cast<double>(s.ring_used));
+      s.pkt.ring_peak->set(static_cast<double>(s.res.ring_peak));
+    });
+  }
+
   s.engine.schedule(0, [&s] { try_send(s); });
-  s.engine.run_until(cfg.duration + cfg.path.rtt * 2);
+  s.engine.run_until(horizon);
+
+  if (s.tel) {
+    s.pkt.goodput->set(
+        units::rate_of(s.res.delivered_bytes, units::to_seconds(cfg.duration)));
+    s.tel->trace().end("packet_run", "pkt", s.engine.now());
+    // Closing sample: the default 1 s cadence never fires inside a 50 ms
+    // horizon, and a shared probe table must still pick up the pkt.* columns.
+    s.tel->probe().sample(s.engine.now());
+  }
 
   s.res.achieved_bps =
       units::rate_of(s.res.delivered_bytes, units::to_seconds(cfg.duration));

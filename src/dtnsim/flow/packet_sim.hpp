@@ -19,6 +19,7 @@
 
 #include "dtnsim/host/host.hpp"
 #include "dtnsim/net/path.hpp"
+#include "dtnsim/obs/telemetry.hpp"
 #include "dtnsim/util/stats.hpp"
 
 namespace dtnsim::flow {
@@ -35,6 +36,14 @@ struct PacketSimConfig {
   // Receiver per-segment processing time floor; derived from the cost model
   // unless overridden (> 0).
   double rx_segment_ns_override = 0.0;
+  // Optional, non-owning observability sink. When set (and enabled), the run
+  // registers the pkt.* metric family, emits spans/instants into the trace,
+  // and arms the interval probe on its engine — the same Telemetry a fluid
+  // run of the scenario used, so the two engines export comparable series
+  // (see flow/divergence.hpp). Default probe cadence (1 s) exceeds the
+  // default 50 ms horizon; pass a sub-millisecond probe_interval to get a
+  // packet-granular series.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct PacketSimResult {

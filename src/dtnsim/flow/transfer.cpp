@@ -110,6 +110,10 @@ void TransferSimulation::setup_telemetry(sim::Engine& engine) {
                            "burst-tolerance trimming this tick");
 
   in.goodput = reg.gauge("flow.goodput_bps", "bps", "receiver-side delivery rate");
+  in.delivered = reg.counter("flow.delivered_bytes", "bytes",
+                             "bytes delivered to the application, all flows");
+  in.gro_agg = reg.gauge("flow.gro_aggregate_bytes", "bytes",
+                         "effective GRO aggregate size the fluid model prices");
   in.sent_rate = reg.gauge("flow.sent_rate_bps", "bps", "sender-side wire rate");
   in.rcv_backlog = reg.gauge("flow.rcv_backlog_bytes", "bytes",
                              "receiver socket backlog, summed over flows");
@@ -125,6 +129,24 @@ void TransferSimulation::setup_telemetry(sim::Engine& engine) {
                         static_cast<obs::RoundLimit>(c)) + "_ticks",
                     "ticks", "rounds bounded by this constraint");
   }
+  // Per-flow tracks for every stream — the multi-stream skew studies (Table
+  // III's range column) need each flow's trajectory, not just flow 0's.
+  const int nflows = static_cast<int>(flows_.size());
+  for (int f = 0; f < nflows; ++f) {
+    in.flow_cwnd.push_back(
+        reg.gauge("tcp.cwnd_bytes", "flow", f, "bytes", "per-flow congestion window"));
+    in.flow_goodput.push_back(
+        reg.gauge("flow.goodput_bps", "flow", f, "bps", "per-flow delivery rate"));
+    in.flow_retx.push_back(reg.counter("tcp.retransmit_segments", "flow", f,
+                                       "segments", "per-flow retransmits"));
+  }
+  in.flow_bps_min = reg.gauge("flow.per_flow_min_bps", "bps",
+                              "slowest flow's delivery rate this tick");
+  in.flow_bps_max = reg.gauge("flow.per_flow_max_bps", "bps",
+                              "fastest flow's delivery rate this tick");
+  in.flow_bps_range = reg.gauge("flow.per_flow_range_bps", "bps",
+                                "max-min per-flow delivery spread (Table III range)");
+
   in.optmem_max->set(cfg_.sender.tuning.sysctl.optmem_max);
   in.flow0_slow_start = flows_[0].cc->in_slow_start();
 
@@ -539,26 +561,37 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
   // ---- Receiver app drain --------------------------------------------------
   double rcv_app_used = 0.0;
   double interval_bytes_this_tick = 0.0;
-  for (auto& f : flows_) {
+  double drain_min = 0.0, drain_max = 0.0;
+  for (std::size_t fi = 0; fi < flows_.size(); ++fi) {
+    auto& f = flows_[fi];
     const double cap = rcv_app_budget / std::max(rx_app_pb, 1e-9);
     const double drain = std::min(f.rcv_backlog_bytes + f.arrived_bytes, cap);
     f.rcv_backlog_bytes = std::max(f.rcv_backlog_bytes + f.arrived_bytes - drain, 0.0);
     f.delivered_bytes += drain;
     interval_bytes_this_tick += drain;
     rcv_app_used += drain * rx_app_pb;
+    if (fi == 0) {
+      drain_min = drain_max = drain;
+    } else {
+      drain_min = std::min(drain_min, drain);
+      drain_max = std::max(drain_max, drain);
+    }
+    if (in) in->flow_goodput[fi]->set(units::rate_of(drain, dt_sec));
   }
   total_delivered_ += interval_bytes_this_tick;
 
   // ---- ACK / loss feedback ------------------------------------------------
   double tick_retx = 0.0, tick_cc_loss_bytes = 0.0;
   int tick_cc_loss_flows = 0;
-  for (auto& f : flows_) {
+  for (std::size_t fi = 0; fi < flows_.size(); ++fi) {
+    auto& f = flows_[fi];
     const double acked = f.arrived_bytes;
     const double lost = f.lost_bytes;
     if (lost > 0.5 * mss()) {
       f.retransmit_segments += lost / mss();
       total_retx_ += lost / mss();
       tick_retx += lost / mss();
+      if (in) in->flow_retx[fi]->add(lost / mss());
       // Small loss bursts recover through limited transmit / PRR without a
       // multiplicative decrease; only substantial loss events (more than a
       // NAPI batch worth of segments AND a visible share of the round)
@@ -630,10 +663,19 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
     in->pacing_rate->set(pace);
     in->cwnd_hist->add(f0.cc->cwnd_bytes(), dt_sec);
 
+    for (std::size_t fi = 0; fi < flows_.size(); ++fi) {
+      in->flow_cwnd[fi]->set(flows_[fi].cc->cwnd_bytes());
+    }
+    in->flow_bps_min->set(units::rate_of(drain_min, dt_sec));
+    in->flow_bps_max->set(units::rate_of(drain_max, dt_sec));
+    in->flow_bps_range->set(units::rate_of(drain_max - drain_min, dt_sec));
+
     double backlog = 0.0;
     for (const auto& f : flows_) backlog += f.rcv_backlog_bytes;
     in->rcv_backlog->set(backlog);
     in->goodput->set(units::rate_of(interval_bytes_this_tick, dt_sec));
+    in->delivered->add(interval_bytes_this_tick);
+    in->gro_agg->set(gro);
     in->sent_rate->set(units::rate_of(group_sent, dt_sec));
     in->snd_app->set(snd_app_u);
     in->snd_irq->set(snd_irq_u);

@@ -134,8 +134,19 @@ class TransferSimulation {
     obs::Gauge* trim_frac = nullptr;
     // flow / cpu
     obs::Gauge* goodput = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Gauge* gro_agg = nullptr;
     obs::Gauge* sent_rate = nullptr;
     obs::Gauge* rcv_backlog = nullptr;
+    // Per-flow tracks: one labeled instance per stream ("tcp.cwnd_bytes
+    // {flow=3}"), registered in flow-index order for stable columns.
+    std::vector<obs::Gauge*> flow_cwnd;
+    std::vector<obs::Gauge*> flow_goodput;
+    std::vector<obs::Counter*> flow_retx;
+    // Per-flow skew (Table III "Range" as a time series).
+    obs::Gauge* flow_bps_min = nullptr;
+    obs::Gauge* flow_bps_max = nullptr;
+    obs::Gauge* flow_bps_range = nullptr;
     obs::Gauge* snd_app = nullptr;
     obs::Gauge* snd_irq = nullptr;
     obs::Gauge* rcv_app = nullptr;

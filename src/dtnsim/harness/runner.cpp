@@ -42,11 +42,16 @@ TestResult run_test(const TestSpec& spec) {
     cfg.seed = seeder.substream(static_cast<unsigned>(r)).next();
     std::shared_ptr<obs::Telemetry> tel;
     if (spec.telemetry.enabled) {
-      tel = std::make_shared<obs::Telemetry>(spec.telemetry);
+      obs::TelemetryConfig tcfg = spec.telemetry;
+      // Stream only the first repeat: every repeat would otherwise open
+      // (and truncate) the same file.
+      if (r != 0) tcfg.trace_stream_path.clear();
+      tel = std::make_shared<obs::Telemetry>(tcfg);
       cfg.telemetry = tel.get();
     }
     const flow::TransferResult res = flow::run_transfer(cfg);
     if (tel) {
+      tel->trace().finalize();  // close a streamed document; no-op on the ring
       out.repeat_series.push_back(tel->series());
       if (r == 0) {
         // Aliasing shared_ptr: the result's trace keeps the Telemetry alive.

@@ -39,9 +39,17 @@ double TimeWeightedHistogram::quantile(double p) const {
   return max_;
 }
 
+std::string labeled_name(const std::string& family, const std::string& key,
+                         int value) {
+  return family + "{" + key + "=" + std::to_string(value) + "}";
+}
+
 Registry::Entry* Registry::get_or_create(const std::string& name, MetricKind kind,
                                          const std::string& unit,
-                                         const std::string& help) {
+                                         const std::string& help,
+                                         const std::string& family,
+                                         const std::string& label_key,
+                                         int label_value) {
   for (auto& e : entries_) {
     if (e.desc.name == name) {
       if (e.desc.kind != kind) {
@@ -55,6 +63,9 @@ Registry::Entry* Registry::get_or_create(const std::string& name, MetricKind kin
   e.desc.kind = kind;
   e.desc.unit = unit;
   e.desc.help = help;
+  e.desc.family = family;
+  e.desc.label_key = label_key;
+  e.desc.label_value = label_value;
   return &e;
 }
 
@@ -74,11 +85,64 @@ TimeWeightedHistogram* Registry::histogram(const std::string& name,
   return &get_or_create(name, MetricKind::Histogram, unit, help)->histogram;
 }
 
+Counter* Registry::counter(const std::string& family, const std::string& label_key,
+                           int label_value, const std::string& unit,
+                           const std::string& help) {
+  return &get_or_create(labeled_name(family, label_key, label_value),
+                        MetricKind::Counter, unit, help, family, label_key,
+                        label_value)
+              ->counter;
+}
+
+Gauge* Registry::gauge(const std::string& family, const std::string& label_key,
+                       int label_value, const std::string& unit,
+                       const std::string& help) {
+  return &get_or_create(labeled_name(family, label_key, label_value),
+                        MetricKind::Gauge, unit, help, family, label_key,
+                        label_value)
+              ->gauge;
+}
+
+TimeWeightedHistogram* Registry::histogram(const std::string& family,
+                                           const std::string& label_key,
+                                           int label_value,
+                                           const std::string& unit,
+                                           const std::string& help) {
+  return &get_or_create(labeled_name(family, label_key, label_value),
+                        MetricKind::Histogram, unit, help, family, label_key,
+                        label_value)
+              ->histogram;
+}
+
 const MetricDesc* Registry::find(const std::string& name) const {
   for (const auto& e : entries_) {
     if (e.desc.name == name) return &e.desc;
   }
   return nullptr;
+}
+
+std::vector<const MetricDesc*> Registry::family_instances(
+    const std::string& family) const {
+  std::vector<const MetricDesc*> out;
+  for (const auto& e : entries_) {
+    if (e.desc.family == family) out.push_back(&e.desc);
+  }
+  return out;
+}
+
+double Registry::value_of(const std::string& name, double fallback) const {
+  for (const auto& e : entries_) {
+    if (e.desc.name != name) continue;
+    switch (e.desc.kind) {
+      case MetricKind::Counter:
+        return e.counter.value();
+      case MetricKind::Gauge:
+        return e.gauge.value();
+      case MetricKind::Histogram:
+        return e.histogram.mean();
+    }
+  }
+  return fallback;
 }
 
 std::vector<MetricSample> Registry::snapshot() const {
@@ -98,6 +162,8 @@ std::vector<MetricSample> Registry::snapshot() const {
         s.value = e.histogram.mean();
         s.min = e.histogram.min();
         s.max = e.histogram.max();
+        s.p50 = e.histogram.quantile(0.50);
+        s.p99 = e.histogram.quantile(0.99);
         break;
     }
     out.push_back(std::move(s));
@@ -109,8 +175,13 @@ std::vector<std::string> Registry::column_names() const {
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& e : entries_) {
-    out.push_back(e.desc.kind == MetricKind::Histogram ? e.desc.name + "_mean"
-                                                       : e.desc.name);
+    if (e.desc.kind == MetricKind::Histogram) {
+      out.push_back(e.desc.name + "_mean");
+      out.push_back(e.desc.name + "_p50");
+      out.push_back(e.desc.name + "_p99");
+    } else {
+      out.push_back(e.desc.name);
+    }
   }
   return out;
 }
@@ -118,7 +189,13 @@ std::vector<std::string> Registry::column_names() const {
 std::vector<double> Registry::row() const {
   std::vector<double> out;
   out.reserve(entries_.size());
-  for (const auto& s : snapshot()) out.push_back(s.value);
+  for (const auto& s : snapshot()) {
+    out.push_back(s.value);
+    if (s.desc->kind == MetricKind::Histogram) {
+      out.push_back(s.p50);
+      out.push_back(s.p99);
+    }
+  }
   return out;
 }
 

@@ -39,6 +39,8 @@ class Counter {
 class Gauge {
  public:
   void set(double value) { value_ = value; }
+  // Relative adjustment for backlog-style gauges (enqueue +, depart -).
+  void add(double delta) { value_ += delta; }
   double value() const { return value_; }
 
  private:
@@ -75,7 +77,16 @@ struct MetricDesc {
   MetricKind kind = MetricKind::Gauge;
   std::string unit;  // "bytes", "bps", "frac", "segments", ...
   std::string help;
+  // Labeled-family metadata; empty family means a plain (unlabeled) metric.
+  // A labeled instance's full name is "family{key=value}" (see labeled_name).
+  std::string family;
+  std::string label_key;
+  int label_value = -1;
 };
+
+// Canonical spelling of a labeled instance: "tcp.cwnd_bytes{flow=3}".
+std::string labeled_name(const std::string& family, const std::string& key,
+                         int value);
 
 // One exported observation of a metric (see Registry::snapshot).
 struct MetricSample {
@@ -83,6 +94,8 @@ struct MetricSample {
   double value = 0.0;  // counter total / gauge value / histogram mean
   double min = 0.0;    // histograms only
   double max = 0.0;    // histograms only
+  double p50 = 0.0;    // histograms only (bucket-resolution quantiles)
+  double p99 = 0.0;    // histograms only
 };
 
 class Registry {
@@ -100,14 +113,35 @@ class Registry {
   TimeWeightedHistogram* histogram(const std::string& name, const std::string& unit,
                                    const std::string& help = {});
 
+  // Labeled-family instances ("tcp.cwnd_bytes{flow=3}"): stable per-label
+  // handles, registered (and therefore exported) in the order each label
+  // value first appears — register flows in index order for deterministic
+  // column expansion.
+  Counter* counter(const std::string& family, const std::string& label_key,
+                   int label_value, const std::string& unit,
+                   const std::string& help = {});
+  Gauge* gauge(const std::string& family, const std::string& label_key,
+               int label_value, const std::string& unit,
+               const std::string& help = {});
+  TimeWeightedHistogram* histogram(const std::string& family,
+                                   const std::string& label_key, int label_value,
+                                   const std::string& unit,
+                                   const std::string& help = {});
+
   std::size_t size() const { return entries_.size(); }
   const MetricDesc* find(const std::string& name) const;
+  // All instances of one labeled family, in registration order.
+  std::vector<const MetricDesc*> family_instances(const std::string& family) const;
+  // Scalar value by full name (counter total / gauge value / histogram mean);
+  // `fallback` when the metric does not exist.
+  double value_of(const std::string& name, double fallback = 0.0) const;
 
   // Current value of every metric, in registration order.
   std::vector<MetricSample> snapshot() const;
-  // Column headers matching snapshot() order (histograms expand to _mean).
+  // Column headers matching row() order (histograms expand to _mean, _p50,
+  // _p99 at bucket resolution).
   std::vector<std::string> column_names() const;
-  // Scalar per metric matching column_names() order.
+  // Scalars matching column_names() order.
   std::vector<double> row() const;
 
  private:
@@ -119,7 +153,9 @@ class Registry {
   };
 
   Entry* get_or_create(const std::string& name, MetricKind kind,
-                       const std::string& unit, const std::string& help);
+                       const std::string& unit, const std::string& help,
+                       const std::string& family = {},
+                       const std::string& label_key = {}, int label_value = -1);
 
   std::deque<Entry> entries_;  // deque: stable pointers across growth
 };

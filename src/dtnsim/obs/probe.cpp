@@ -98,6 +98,15 @@ void FlowProbe::sample(Nanos now) {
     table_.columns.push_back("time_s");
     const auto names = registry_->column_names();
     table_.columns.insert(table_.columns.end(), names.begin(), names.end());
+  } else if (registry_->column_names().size() + 1 > table_.columns.size()) {
+    // The registry grew since the first sample (e.g. a second engine
+    // registered its metrics into a shared Telemetry). Registration order is
+    // append-only, so the existing columns are a prefix: extend the header
+    // and zero-pad earlier rows to keep the table rectangular.
+    const auto names = registry_->column_names();
+    table_.columns.assign(names.begin(), names.end());
+    table_.columns.insert(table_.columns.begin(), "time_s");
+    for (auto& r : table_.rows) r.resize(table_.columns.size(), 0.0);
   }
   std::vector<double> row;
   row.reserve(table_.columns.size());

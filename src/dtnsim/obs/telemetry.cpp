@@ -1,6 +1,48 @@
 #include "dtnsim/obs/telemetry.hpp"
 
+#include <stdexcept>
+
+#include "dtnsim/util/strfmt.hpp"
+
 namespace dtnsim::obs {
+
+void validate(const TelemetryConfig& cfg) {
+  if (cfg.probe_interval <= 0) {
+    throw std::invalid_argument(strfmt(
+        "TelemetryConfig.probe_interval must be positive, got %lld ns "
+        "(a non-positive interval would arm a degenerate probe)",
+        static_cast<long long>(cfg.probe_interval)));
+  }
+  if (cfg.trace_capacity == 0) {
+    throw std::invalid_argument(
+        "TelemetryConfig.trace_capacity must be >= 1: a zero-capacity ring "
+        "would silently drop every trace event (use trace_stream_path for "
+        "unbounded histories)");
+  }
+  if (cfg.stream_buffer_events == 0) {
+    throw std::invalid_argument(
+        "TelemetryConfig.stream_buffer_events must be >= 1 (events buffered "
+        "between streaming writes)");
+  }
+}
+
+namespace {
+
+std::unique_ptr<TraceSink> make_trace_sink(const TelemetryConfig& cfg) {
+  if (!cfg.trace_stream_path.empty()) {
+    return std::make_unique<StreamingTraceSink>(
+        cfg.trace_stream_path, /*process_name=*/"", cfg.stream_buffer_events,
+        cfg.trace_capacity);
+  }
+  return std::make_unique<TraceSink>(cfg.trace_capacity);
+}
+
+}  // namespace
+
+Telemetry::Telemetry(TelemetryConfig cfg)
+    : cfg_(std::move(cfg)),
+      trace_((validate(cfg_), make_trace_sink(cfg_))),
+      probe_(&registry_, cfg_.probe_interval, trace_.get()) {}
 
 const char* round_limit_name(RoundLimit limit) {
   switch (limit) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "dtnsim/obs/metrics.hpp"
@@ -23,25 +24,34 @@ struct TelemetryConfig {
   // beyond the cap still emit instants/counters (LAN runs tick ~300k times
   // per simulated minute, which would drown the ring in span pairs).
   std::size_t max_round_spans = 128;
+  // Non-empty: stream every trace event to this file as it is recorded
+  // (StreamingTraceSink) instead of relying on the ring alone — no capacity
+  // ceiling for long runs. The ring still serves in-memory queries.
+  std::string trace_stream_path;
+  std::size_t stream_buffer_events = 256;  // events buffered between writes
 };
+
+// Throws std::invalid_argument on a degenerate config (probe_interval <= 0,
+// trace_capacity == 0, stream_buffer_events == 0). Called by Telemetry's
+// constructor; exposed for early CLI-level validation.
+void validate(const TelemetryConfig& cfg);
 
 class Telemetry {
  public:
-  explicit Telemetry(TelemetryConfig cfg = {})
-      : cfg_(cfg), trace_(cfg.trace_capacity), probe_(&registry_, cfg.probe_interval, &trace_) {}
+  explicit Telemetry(TelemetryConfig cfg = {});
 
   const TelemetryConfig& config() const { return cfg_; }
   Registry& registry() { return registry_; }
   const Registry& registry() const { return registry_; }
-  TraceSink& trace() { return trace_; }
-  const TraceSink& trace() const { return trace_; }
+  TraceSink& trace() { return *trace_; }
+  const TraceSink& trace() const { return *trace_; }
   FlowProbe& probe() { return probe_; }
   const SeriesTable& series() const { return probe_.series(); }
 
  private:
   TelemetryConfig cfg_;
   Registry registry_;
-  TraceSink trace_;
+  std::unique_ptr<TraceSink> trace_;
   FlowProbe probe_;
 };
 

@@ -74,34 +74,42 @@ const char* phase_code(TracePhase phase) {
   return "i";
 }
 
+Json process_name_record(int pid, const std::string& process_name) {
+  Json meta = Json::object();
+  meta["name"] = "process_name";
+  meta["ph"] = "M";
+  meta["pid"] = pid;
+  meta["tid"] = 0;
+  meta["args"]["name"] = process_name;
+  return meta;
+}
+
+Json event_record(const TraceEvent& ev, int pid) {
+  Json j = Json::object();
+  j["name"] = ev.name;
+  j["cat"] = ev.category.empty() ? "dtnsim" : ev.category;
+  j["ph"] = phase_code(ev.phase);
+  j["ts"] = static_cast<double>(ev.ts) / 1e3;  // trace_event wants micros
+  j["pid"] = pid;
+  j["tid"] = ev.track;
+  if (ev.phase == TracePhase::Instant) j["s"] = "t";  // thread-scoped tick
+  if (!ev.args.empty()) {
+    Json args = Json::object();
+    for (const auto& [k, v] : ev.args) args[k] = v;
+    j["args"] = std::move(args);
+  }
+  return j;
+}
+
 }  // namespace
 
 void TraceSink::append_chrome_events(Json& trace_events, int pid,
                                      const std::string& process_name) const {
   if (!process_name.empty()) {
-    Json meta = Json::object();
-    meta["name"] = "process_name";
-    meta["ph"] = "M";
-    meta["pid"] = pid;
-    meta["tid"] = 0;
-    meta["args"]["name"] = process_name;
-    trace_events.push_back(std::move(meta));
+    trace_events.push_back(process_name_record(pid, process_name));
   }
   for (const auto& ev : events()) {
-    Json j = Json::object();
-    j["name"] = ev.name;
-    j["cat"] = ev.category.empty() ? "dtnsim" : ev.category;
-    j["ph"] = phase_code(ev.phase);
-    j["ts"] = static_cast<double>(ev.ts) / 1e3;  // trace_event wants micros
-    j["pid"] = pid;
-    j["tid"] = ev.track;
-    if (ev.phase == TracePhase::Instant) j["s"] = "t";  // thread-scoped tick
-    if (!ev.args.empty()) {
-      Json args = Json::object();
-      for (const auto& [k, v] : ev.args) args[k] = v;
-      j["args"] = std::move(args);
-    }
-    trace_events.push_back(std::move(j));
+    trace_events.push_back(event_record(ev, pid));
   }
 }
 
@@ -138,6 +146,62 @@ bool write_merged_chrome_trace(
   if (!out) return false;
   out << merged_chrome_trace(sinks).dump(1) << "\n";
   return static_cast<bool>(out);
+}
+
+StreamingTraceSink::StreamingTraceSink(const std::string& path,
+                                       const std::string& process_name,
+                                       std::size_t buffer_events,
+                                       std::size_t ring_capacity)
+    : TraceSink(ring_capacity),
+      path_(path),
+      out_(path),
+      buffer_events_(std::max<std::size_t>(buffer_events, 1)) {
+  ok_ = static_cast<bool>(out_);
+  if (!ok_) return;
+  out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  if (!process_name.empty()) {
+    out_ << process_name_record(/*pid=*/1, process_name).dump();
+    wrote_any_ = true;
+  }
+  ok_ = static_cast<bool>(out_);
+}
+
+StreamingTraceSink::~StreamingTraceSink() { finalize(); }
+
+void StreamingTraceSink::push(TraceEvent ev) {
+  if (ok_ && !finalized_) {
+    if (wrote_any_ || buffered_ > 0 || streamed_ > 0) buffer_ += ",\n";
+    buffer_ += event_record(ev, /*pid=*/1).dump();
+    ++streamed_;
+    if (++buffered_ >= buffer_events_) flush();
+  }
+  TraceSink::push(std::move(ev));
+}
+
+bool StreamingTraceSink::flush() {
+  if (!ok_ || finalized_) return ok_;
+  if (!buffer_.empty()) {
+    out_ << buffer_;
+    if (buffered_ > 0) wrote_any_ = true;
+    buffer_.clear();
+    buffered_ = 0;
+  }
+  out_.flush();
+  ok_ = static_cast<bool>(out_);
+  return ok_;
+}
+
+bool StreamingTraceSink::finalize() {
+  if (finalized_) return ok_;
+  flush();
+  if (ok_) {
+    out_ << "\n]}\n";
+    out_.flush();
+    ok_ = static_cast<bool>(out_);
+  }
+  out_.close();
+  finalized_ = true;
+  return ok_;
 }
 
 }  // namespace dtnsim::obs

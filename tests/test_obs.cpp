@@ -149,16 +149,24 @@ TEST(Registry, SnapshotInRegistrationOrder) {
   reg.histogram("c.third", "x")->add(8.0, 1.0);
 
   const auto cols = reg.column_names();
-  ASSERT_EQ(cols.size(), 3u);
+  ASSERT_EQ(cols.size(), 5u);  // histograms expand to _mean, _p50, _p99
   EXPECT_EQ(cols[0], "b.second");
   EXPECT_EQ(cols[1], "a.first");
-  EXPECT_EQ(cols[2], "c.third_mean");  // histograms export their mean
+  EXPECT_EQ(cols[2], "c.third_mean");
+  EXPECT_EQ(cols[3], "c.third_p50");
+  EXPECT_EQ(cols[4], "c.third_p99");
 
   const auto row = reg.row();
-  ASSERT_EQ(row.size(), 3u);
+  ASSERT_EQ(row.size(), 5u);
   EXPECT_DOUBLE_EQ(row[0], 2.0);
   EXPECT_DOUBLE_EQ(row[1], 1.0);
   EXPECT_DOUBLE_EQ(row[2], 8.0);
+  // Every observation is 8.0, so both quantiles land in its log2 bucket
+  // (bucket resolution: the upper edge covering 8.0 is <= 16).
+  EXPECT_GE(row[3], 8.0);
+  EXPECT_LE(row[3], 16.0);
+  EXPECT_GE(row[4], 8.0);
+  EXPECT_LE(row[4], 16.0);
 
   const auto snap = reg.snapshot();
   ASSERT_EQ(snap.size(), 3u);
