@@ -55,8 +55,8 @@ bool needs_value(const std::string& flag) {
          flag == "-C" || flag == "--congestion" || flag == "--fq-rate" ||
          flag == "--testbed" || flag == "--path" || flag == "--kernel" ||
          flag == "--optmem" || flag == "--ring" || flag == "--repeats" ||
-         flag == "--seed" || flag == "--probe-interval" || flag == "--metrics-out" ||
-         flag == "--trace-out" || flag == "--trace-stream";
+         flag == "--seed" || flag == "--jobs" || flag == "--probe-interval" ||
+         flag == "--metrics-out" || flag == "--trace-out" || flag == "--trace-stream";
 }
 
 }  // namespace
@@ -172,6 +172,14 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       o.repeats = std::max(std::atoi(value.c_str()), 1);
     } else if (flag == "--seed") {
       o.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--jobs") {
+      char* end = nullptr;
+      const long jobs = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() || jobs < 0) {
+        o.error = "bad --jobs (need >= 0; 0 = one per hardware thread): " + value;
+        return o;
+      }
+      o.jobs = static_cast<int>(jobs);
     } else if (flag == "--probe-interval") {
       o.probe_interval_sec = std::atof(value.c_str());
       if (o.probe_interval_sec <= 0) {
@@ -213,6 +221,8 @@ std::string cli_help() {
       "      --ring N           RX/TX ring descriptors\n"
       "      --repeats N        repeats with seed substreams (default 1)\n"
       "      --seed N           RNG seed\n"
+      "      --jobs N           worker threads for batch/sweep runs\n"
+      "                         (default 1 = serial; 0 = one per hardware thread)\n"
       "observability flags (docs/OBSERVABILITY.md):\n"
       "      --probe-interval S telemetry sampling cadence in seconds (default 1)\n"
       "      --metrics-out F    write per-interval metric series as CSV\n"
@@ -222,18 +232,8 @@ std::string cli_help() {
 }
 
 harness::TestSpec spec_from_cli(const CliOptions& opts) {
-  harness::Testbed tb;
-  if (opts.testbed == "amlight") {
-    tb = harness::amlight(opts.kernel);
-  } else if (opts.testbed == "amlight-baremetal") {
-    tb = harness::amlight_baremetal(opts.kernel);
-  } else if (opts.testbed == "esnet") {
-    tb = harness::esnet(opts.kernel);
-  } else if (opts.testbed == "production") {
-    tb = harness::esnet_production(opts.kernel);
-  } else {
-    throw std::invalid_argument("unknown testbed: " + opts.testbed);
-  }
+  // Throws std::invalid_argument for an unknown testbed name.
+  const harness::Testbed tb = harness::testbed_by_name(opts.testbed, opts.kernel);
 
   const std::string path_name = opts.path.empty() ? tb.lan().name : opts.path;
   auto spec = harness::TestSpec::on(tb, path_name, opts.iperf);

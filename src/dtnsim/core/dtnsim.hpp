@@ -43,6 +43,10 @@
 #include "dtnsim/obs/telemetry.hpp"
 #include "dtnsim/obs/trace.hpp"
 #include "dtnsim/sim/engine.hpp"
+#include "dtnsim/sweep/cache.hpp"
+#include "dtnsim/sweep/campaign.hpp"
+#include "dtnsim/sweep/grid.hpp"
+#include "dtnsim/sweep/pool.hpp"
 #include "dtnsim/tcp/bbr.hpp"
 #include "dtnsim/tcp/cc.hpp"
 #include "dtnsim/tcp/cubic.hpp"

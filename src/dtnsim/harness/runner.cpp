@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dtnsim/sweep/pool.hpp"
 #include "dtnsim/util/stats.hpp"
 
 namespace dtnsim::harness {
@@ -87,10 +88,12 @@ TestResult run_test(const TestSpec& spec) {
   return out;
 }
 
-std::vector<TestResult> run_tests(const std::vector<TestSpec>& specs) {
-  std::vector<TestResult> out;
-  out.reserve(specs.size());
-  for (const auto& s : specs) out.push_back(run_test(s));
+std::vector<TestResult> run_tests(const std::vector<TestSpec>& specs, int jobs) {
+  // Pre-sized storage, written by spec index: results[i] <-> specs[i] holds
+  // for any job count (see the header's ordering guarantee).
+  std::vector<TestResult> out(specs.size());
+  sweep::parallel_for(specs.size(), jobs,
+                      [&](std::size_t i) { out[i] = run_test(specs[i]); });
   return out;
 }
 

@@ -65,7 +65,14 @@ struct TestResult {
 
 TestResult run_test(const TestSpec& spec);
 
-// Run a batch; convenient for sweep benches.
-std::vector<TestResult> run_tests(const std::vector<TestSpec>& specs);
+// Run a batch on a worker pool of `jobs` threads (1 = serial on the calling
+// thread, 0 = one worker per hardware thread).
+//
+// Ordering guarantee (load-bearing; callers index results by spec position):
+// the returned vector is pre-sized to specs.size() and results[i] is always
+// the result of specs[i], no matter how many jobs ran or in what order cells
+// finished. Each spec simulates with its own Rng/engine/telemetry, so the
+// parallel output is bit-identical to the serial output.
+std::vector<TestResult> run_tests(const std::vector<TestSpec>& specs, int jobs = 1);
 
 }  // namespace dtnsim::harness

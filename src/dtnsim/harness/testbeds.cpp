@@ -103,6 +103,14 @@ const net::PathSpec& Testbed::path_named(const std::string& name) const {
   throw std::out_of_range("no path named " + name + " in testbed " + this->name);
 }
 
+Testbed testbed_by_name(const std::string& name, kern::KernelVersion kernel) {
+  if (name == "amlight") return amlight(kernel);
+  if (name == "amlight-baremetal") return amlight_baremetal(kernel);
+  if (name == "esnet") return esnet(kernel);
+  if (name == "production") return esnet_production(kernel);
+  throw std::invalid_argument("unknown testbed: " + name);
+}
+
 Testbed amlight(kern::KernelVersion kernel) { return amlight_vm(kernel); }
 
 Testbed amlight_vm(kern::KernelVersion kernel) {

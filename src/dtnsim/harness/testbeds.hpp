@@ -42,6 +42,11 @@ Testbed amlight_vm(kern::KernelVersion kernel);
 Testbed esnet(kern::KernelVersion kernel = kern::KernelVersion::V6_8);
 Testbed esnet_production(kern::KernelVersion kernel = kern::KernelVersion::V5_15);
 
+// CLI-facing registry: amlight | amlight-baremetal | esnet | production.
+// Throws std::invalid_argument for an unknown name. Shared by the iperf3
+// front end and the sweep grid (which rebuilds the testbed per kernel cell).
+Testbed testbed_by_name(const std::string& name, kern::KernelVersion kernel);
+
 // Individual paths, exposed for custom experiments.
 net::PathSpec amlight_lan();
 net::PathSpec amlight_wan(int rtt_ms);  // 25, 54 or 104

@@ -1,0 +1,243 @@
+#include "dtnsim/sweep/cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dtnsim/util/strfmt.hpp"
+
+namespace dtnsim::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+// %.17g round-trips every double exactly; canonical text must never lose
+// precision or two different knob values could collide into one key.
+std::string num(double v) { return strfmt("%.17g", v); }
+std::string num(int v) { return strfmt("%d", v); }
+std::string num(bool v) { return v ? "1" : "0"; }
+std::string num(std::uint64_t v) { return strfmt("%llu", static_cast<unsigned long long>(v)); }
+
+void add(FieldList& f, std::string key, std::string value) {
+  f.emplace_back(std::move(key), std::move(value));
+}
+
+void add_sysctl_fields(FieldList& f, const std::string& p, const kern::SysctlConfig& s) {
+  add(f, p + "rmem_max", num(s.rmem_max));
+  add(f, p + "wmem_max", num(s.wmem_max));
+  add(f, p + "tcp_rmem_min", num(s.tcp_rmem_min));
+  add(f, p + "tcp_rmem_def", num(s.tcp_rmem_def));
+  add(f, p + "tcp_rmem_max", num(s.tcp_rmem_max));
+  add(f, p + "tcp_wmem_min", num(s.tcp_wmem_min));
+  add(f, p + "tcp_wmem_def", num(s.tcp_wmem_def));
+  add(f, p + "tcp_wmem_max", num(s.tcp_wmem_max));
+  add(f, p + "tcp_no_metrics_save", num(s.tcp_no_metrics_save));
+  add(f, p + "default_qdisc", kern::qdisc_name(s.default_qdisc));
+  add(f, p + "optmem_max", num(s.optmem_max));
+  add(f, p + "congestion", kern::congestion_name(s.congestion));
+}
+
+void add_host_fields(FieldList& f, const std::string& p, const host::HostConfig& h) {
+  // CPU (model string is cosmetic; the numbers are the physics).
+  add(f, p + "cpu.vendor", cpu::vendor_name(h.cpu.vendor));
+  add(f, p + "cpu.sockets", num(h.cpu.sockets));
+  add(f, p + "cpu.cores_per_socket", num(h.cpu.cores_per_socket));
+  add(f, p + "cpu.numa_nodes", num(h.cpu.numa_nodes));
+  add(f, p + "cpu.smt_threads", num(h.cpu.smt_threads));
+  add(f, p + "cpu.base_ghz", num(h.cpu.base_ghz));
+  add(f, p + "cpu.max_ghz", num(h.cpu.max_ghz));
+  add(f, p + "cpu.avx512", num(h.cpu.avx512));
+  add(f, p + "cpu.l3_per_socket_bytes", num(h.cpu.l3_per_socket_bytes));
+  add(f, p + "cpu.l3_flow_window_bytes", num(h.cpu.l3_flow_window_bytes));
+  add(f, p + "cpu.stack_mem_bw_bytes", num(h.cpu.stack_mem_bw_bytes));
+  // Kernel profile.
+  add(f, p + "kernel.version", h.kernel.name);
+  add(f, p + "kernel.max_skb_frags", num(h.kernel.max_skb_frags));
+  add(f, p + "kernel.custom_build", num(h.kernel.custom_build));
+  add(f, p + "kernel.msg_zerocopy", num(h.kernel.supports_msg_zerocopy));
+  add(f, p + "kernel.big_tcp_ipv4", num(h.kernel.supports_big_tcp_ipv4));
+  add(f, p + "kernel.big_tcp_ipv6", num(h.kernel.supports_big_tcp_ipv6));
+  add(f, p + "kernel.hw_gro", num(h.kernel.supports_hw_gro));
+  add(f, p + "kernel.stack_factor_intel", num(h.kernel.stack_factor_intel));
+  add(f, p + "kernel.stack_factor_amd", num(h.kernel.stack_factor_amd));
+  // NIC.
+  add(f, p + "nic.line_rate_bps", num(h.nic.line_rate_bps));
+  add(f, p + "nic.default_ring", num(h.nic.default_ring_descriptors));
+  add(f, p + "nic.max_ring", num(h.nic.max_ring_descriptors));
+  add(f, p + "nic.hw_gro_capable", num(h.nic.hw_gro_capable));
+  add(f, p + "nic.drain_smooth_bps", num(h.nic.drain_smooth_bps));
+  add(f, p + "nic.drain_burst_bps", num(h.nic.drain_burst_bps));
+  // Tuning.
+  const auto& t = h.tuning;
+  add_sysctl_fields(f, p + "sysctl.", t.sysctl);
+  add(f, p + "tuning.irqbalance_disabled", num(t.irqbalance_disabled));
+  add(f, p + "tuning.performance_governor", num(t.performance_governor));
+  add(f, p + "tuning.smt_off", num(t.smt_off));
+  add(f, p + "tuning.ring_descriptors", num(t.ring_descriptors));
+  add(f, p + "tuning.iommu_passthrough", num(t.iommu_passthrough));
+  add(f, p + "tuning.mtu_bytes", num(t.mtu_bytes));
+  add(f, p + "tuning.big_tcp_enabled", num(t.big_tcp_enabled));
+  add(f, p + "tuning.big_tcp_bytes", num(t.big_tcp_bytes));
+  add(f, p + "tuning.hw_gro_enabled", num(t.hw_gro_enabled));
+  add(f, p + "virt_factor", num(h.virt_factor));
+}
+
+}  // namespace
+
+FieldList spec_fields(const harness::TestSpec& spec) {
+  FieldList f;
+  add(f, "repeats", num(spec.repeats));
+  add(f, "base_seed", num(spec.base_seed));
+  add(f, "link_flow_control", num(spec.link_flow_control));
+  // iperf options.
+  add(f, "iperf.parallel", num(spec.iperf.parallel));
+  add(f, "iperf.duration_sec", num(spec.iperf.duration_sec));
+  add(f, "iperf.fq_rate_bps", num(spec.iperf.fq_rate_bps));
+  add(f, "iperf.zerocopy", num(spec.iperf.zerocopy));
+  add(f, "iperf.skip_rx_copy", num(spec.iperf.skip_rx_copy));
+  add(f, "iperf.congestion", kern::congestion_name(spec.iperf.congestion));
+  // Path physics (display name excluded).
+  add(f, "path.rtt_ns", num(static_cast<std::uint64_t>(spec.path.rtt)));
+  add(f, "path.capacity_bps", num(spec.path.capacity_bps));
+  add(f, "path.hops", num(spec.path.hops));
+  add(f, "path.bg_traffic_bps", num(spec.path.bg_traffic_bps));
+  add(f, "path.bg_burst_sigma", num(spec.path.bg_burst_sigma));
+  add(f, "path.burst_tolerance_bps", num(spec.path.burst_tolerance_bps));
+  add(f, "path.deep_buffers", num(spec.path.deep_buffers));
+  add(f, "path.stray_loss_events_per_sec", num(spec.path.stray_loss_events_per_sec));
+  add_host_fields(f, "sender.", spec.sender);
+  add_host_fields(f, "receiver.", spec.receiver);
+  return f;
+}
+
+std::string canonicalize(FieldList fields) {
+  std::sort(fields.begin(), fields.end());
+  std::string out;
+  for (const auto& [k, v] : fields) {
+    out += k;
+    out += '=';
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t spec_key(const harness::TestSpec& spec) {
+  std::string text(kCacheSalt);
+  text += '\n';
+  text += canonicalize(spec_fields(spec));
+  return fnv1a64(text);
+}
+
+std::string spec_key_hex(const harness::TestSpec& spec) {
+  return strfmt("%016llx", static_cast<unsigned long long>(spec_key(spec)));
+}
+
+Json result_to_json(const harness::TestResult& result) {
+  Json j = Json::object();
+  j["schema"] = std::string(kCacheSalt);
+  j["name"] = result.name;
+  j["repeats"] = result.repeats;
+  j["avg_gbps"] = result.avg_gbps;
+  j["min_gbps"] = result.min_gbps;
+  j["max_gbps"] = result.max_gbps;
+  j["stdev_gbps"] = result.stdev_gbps;
+  j["avg_retransmits"] = result.avg_retransmits;
+  j["flow_min_gbps"] = result.flow_min_gbps;
+  j["flow_max_gbps"] = result.flow_max_gbps;
+  j["snd_cpu_pct"] = result.snd_cpu_pct;
+  j["rcv_cpu_pct"] = result.rcv_cpu_pct;
+  j["zc_fallback_ratio"] = result.zc_fallback_ratio;
+  Json samples = Json::array();
+  for (const double s : result.samples_gbps) samples.push_back(s);
+  j["samples_gbps"] = std::move(samples);
+  return j;
+}
+
+bool result_from_json(const Json& j, harness::TestResult* out) {
+  if (!j.is_object()) return false;
+  const Json* repeats = j.find("repeats");
+  const Json* avg = j.find("avg_gbps");
+  if (!repeats || !repeats->is_number() || !avg || !avg->is_number()) return false;
+  harness::TestResult r;
+  r.name = j.string_at("name", "");
+  r.repeats = static_cast<int>(repeats->number_or(0));
+  r.avg_gbps = avg->number_or(0.0);
+  r.min_gbps = j.number_at("min_gbps", 0.0);
+  r.max_gbps = j.number_at("max_gbps", 0.0);
+  r.stdev_gbps = j.number_at("stdev_gbps", 0.0);
+  r.avg_retransmits = j.number_at("avg_retransmits", 0.0);
+  r.flow_min_gbps = j.number_at("flow_min_gbps", 0.0);
+  r.flow_max_gbps = j.number_at("flow_max_gbps", 0.0);
+  r.snd_cpu_pct = j.number_at("snd_cpu_pct", 0.0);
+  r.rcv_cpu_pct = j.number_at("rcv_cpu_pct", 0.0);
+  r.zc_fallback_ratio = j.number_at("zc_fallback_ratio", 0.0);
+  if (const Json* samples = j.find("samples_gbps"); samples && samples->is_array()) {
+    for (std::size_t i = 0; i < samples->size(); ++i)
+      r.samples_gbps.push_back(samples->at(i)->number_or(0.0));
+  }
+  *out = std::move(r);
+  return true;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    throw std::runtime_error("sweep cache: cannot create directory " + dir_);
+  }
+}
+
+std::string ResultCache::path_for(const harness::TestSpec& spec) const {
+  return dir_ + "/" + spec_key_hex(spec) + ".json";
+}
+
+bool ResultCache::load(const harness::TestSpec& spec, harness::TestResult* out) const {
+  std::ifstream in(path_for(spec));
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = Json::parse(buffer.str());
+  if (!doc || !result_from_json(*doc, out)) return false;
+  // The schema salt is hashed into the file name, but a stale tree copied
+  // across versions should still never serve mismatched entries.
+  if (doc->string_at("schema", "") != kCacheSalt) return false;
+  out->name = spec.name;
+  return true;
+}
+
+bool ResultCache::store(const harness::TestSpec& spec,
+                        const harness::TestResult& result) const {
+  const std::string path = path_for(spec);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream o(tmp, std::ios::trunc);
+    if (!o) return false;
+    o << result_to_json(result).dump(2) << "\n";
+    if (!o.good()) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  return !ec;
+}
+
+}  // namespace dtnsim::sweep

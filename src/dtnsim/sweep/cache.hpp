@@ -1,0 +1,79 @@
+// Content-addressed, on-disk result cache for harness runs.
+//
+// The key is a 64-bit FNV-1a hash of the *canonicalized* spec: every
+// simulation-affecting knob serialized as a "key=value" field, the field
+// list sorted by key (so the order fields are emitted in can never change
+// the hash), plus a schema/calibration salt. Cosmetic strings (spec label,
+// path display name, CPU/NIC model names) are deliberately excluded — two
+// specs with identical physics are the same cell, whatever they are called.
+//
+// A cached cell lives at <dir>/<16-hex-key>.json and stores the aggregate
+// TestResult (including raw per-repeat samples). Telemetry payloads
+// (probe series, traces) are not serialized; the campaign engine bypasses
+// the cache for telemetry-enabled specs.
+//
+// Bump kCacheSalt whenever the simulator's calibration or the result schema
+// changes: every old entry then misses and re-simulates, which is exactly
+// the invalidation story a content-addressed store wants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dtnsim/harness/runner.hpp"
+#include "dtnsim/util/json.hpp"
+
+namespace dtnsim::sweep {
+
+// Schema + calibration version salt folded into every cache key.
+inline constexpr std::string_view kCacheSalt = "dtnsim.sweep.v1";
+
+using FieldList = std::vector<std::pair<std::string, std::string>>;
+
+// Every simulation-affecting knob of a spec, in emission order. Exposed so
+// tests can shuffle the list and prove order-independence of the key.
+FieldList spec_fields(const harness::TestSpec& spec);
+
+// Sort by field name and join as "name=value\n" lines. The canonical text
+// is what gets hashed (and what a human diffs when two keys disagree).
+std::string canonicalize(FieldList fields);
+
+std::uint64_t fnv1a64(std::string_view text);
+// splitmix64 finalizer — used to derive well-mixed per-cell seeds.
+std::uint64_t mix64(std::uint64_t x);
+
+std::uint64_t spec_key(const harness::TestSpec& spec);
+std::string spec_key_hex(const harness::TestSpec& spec);  // 16 lowercase hex
+
+// TestResult <-> JSON (aggregate numbers + raw samples; no telemetry).
+Json result_to_json(const harness::TestResult& result);
+// False when `j` is not a result document (missing/mistyped fields).
+bool result_from_json(const Json& j, harness::TestResult* out);
+
+class ResultCache {
+ public:
+  // Creates `dir` (and parents) if missing; throws std::runtime_error when
+  // the directory cannot be created.
+  explicit ResultCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  std::string path_for(const harness::TestSpec& spec) const;
+
+  // Load the cached result for `spec`; false on miss or unreadable entry
+  // (a truncated file from a killed run reads as a miss). On hit the
+  // result's name is rewritten to spec.name — the label is not part of the
+  // address.
+  bool load(const harness::TestSpec& spec, harness::TestResult* out) const;
+
+  // Write-through: store via a temp file + atomic rename so an interrupt
+  // mid-write never leaves a half-entry under the final name.
+  bool store(const harness::TestSpec& spec, const harness::TestResult& result) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace dtnsim::sweep

@@ -1,0 +1,549 @@
+#include "dtnsim/sweep/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "dtnsim/cli/cli.hpp"
+#include "dtnsim/sweep/cache.hpp"
+#include "dtnsim/sweep/pool.hpp"
+#include "dtnsim/util/strfmt.hpp"
+
+namespace dtnsim::sweep {
+namespace {
+
+// Fingerprint of the expanded grid: hashes every cell's content address, so
+// any change to any knob, axis value or ordering-relevant property shows up.
+std::string grid_fingerprint(const std::vector<Cell>& cells) {
+  std::string text(kCacheSalt);
+  for (const auto& cell : cells) {
+    text += '\n';
+    text += spec_key_hex(cell.spec);
+  }
+  return strfmt("%016llx", static_cast<unsigned long long>(fnv1a64(text)));
+}
+
+Json row_json(const CellOutcome& out, const std::string& spec_name) {
+  Json j = Json::object();
+  j["index"] = static_cast<std::int64_t>(out.index);
+  j["key"] = out.key_hex;
+  j["name"] = spec_name;
+  Json coords = Json::object();
+  for (const auto& [axis, value] : out.coords) coords[axis] = value;
+  j["coords"] = std::move(coords);
+  j["cached"] = out.cached;
+  const auto& r = out.result;
+  j["repeats"] = r.repeats;
+  j["avg_gbps"] = r.avg_gbps;
+  j["min_gbps"] = r.min_gbps;
+  j["max_gbps"] = r.max_gbps;
+  j["stdev_gbps"] = r.stdev_gbps;
+  j["avg_retransmits"] = r.avg_retransmits;
+  j["flow_min_gbps"] = r.flow_min_gbps;
+  j["flow_max_gbps"] = r.flow_max_gbps;
+  j["snd_cpu_pct"] = r.snd_cpu_pct;
+  j["rcv_cpu_pct"] = r.rcv_cpu_pct;
+  j["zc_fallback_ratio"] = r.zc_fallback_ratio;
+  Json samples = Json::array();
+  for (const double s : r.samples_gbps) samples.push_back(s);
+  j["samples_gbps"] = std::move(samples);
+  return j;
+}
+
+struct Checkpoint {
+  std::string grid;            // fingerprint from the header line
+  std::size_t cells = 0;       // grid size from the header line
+  std::vector<std::string> done_keys;
+};
+
+// Parse an existing manifest; nullopt when the file does not exist.
+// Truncated trailing lines (killed mid-write) are ignored.
+std::optional<Checkpoint> read_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  Checkpoint ckpt;
+  std::string line;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto doc = Json::parse(line);
+    if (!doc) continue;  // torn final line from an interrupt
+    if (!have_header) {
+      ckpt.grid = doc->string_at("grid", "");
+      ckpt.cells = static_cast<std::size_t>(doc->number_at("cells", 0));
+      have_header = true;
+      continue;
+    }
+    const std::string key = doc->string_at("key", "");
+    if (!key.empty()) ckpt.done_keys.push_back(key);
+  }
+  if (!have_header) return std::nullopt;
+  return ckpt;
+}
+
+// An append-or-truncate line stream that flushes after every line, so the
+// manifest and the results stream survive a kill between cells.
+class LineWriter {
+ public:
+  LineWriter(const std::string& path, bool append) {
+    if (path.empty()) return;
+    out_.open(path, append ? std::ios::app : std::ios::trunc);
+    if (!out_) throw std::runtime_error("sweep: cannot open " + path + " for writing");
+  }
+  bool enabled() const { return out_.is_open(); }
+  void line(const std::string& text) {
+    if (!out_.is_open()) return;
+    out_ << text << '\n';
+    out_.flush();
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace
+
+CampaignReport run_campaign(const GridSpec& grid, const CampaignOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Cell> cells = expand(grid);  // throws on a malformed grid
+
+  CampaignReport report;
+  report.name = grid.name;
+  report.total = cells.size();
+  report.jobs = resolve_jobs(opts.jobs);
+
+  std::string checkpoint_path = opts.checkpoint_path;
+  if (checkpoint_path.empty() && !opts.results_path.empty()) {
+    checkpoint_path = opts.results_path + ".ckpt";
+  }
+
+  // Resume: collect the keys the manifest says are complete.
+  const std::string fingerprint = grid_fingerprint(cells);
+  std::vector<std::string> done_keys;
+  bool appending = false;
+  if (opts.resume && !checkpoint_path.empty()) {
+    if (const auto ckpt = read_checkpoint(checkpoint_path)) {
+      if (ckpt->grid != fingerprint || ckpt->cells != cells.size()) {
+        throw std::runtime_error(strfmt(
+            "sweep resume: checkpoint %s was written for a different grid "
+            "(fingerprint %s vs %s) — refusing to mix campaigns",
+            checkpoint_path.c_str(), ckpt->grid.c_str(), fingerprint.c_str()));
+      }
+      done_keys = ckpt->done_keys;
+      appending = true;  // keep prior rows; append the rest
+    }
+  }
+
+  std::unique_ptr<ResultCache> cache;
+  if (!opts.cache_dir.empty()) cache = std::make_unique<ResultCache>(opts.cache_dir);
+
+  LineWriter results(opts.results_path, appending);
+  LineWriter manifest(checkpoint_path, appending);
+  if (manifest.enabled() && !appending) {
+    Json header = Json::object();
+    header["schema"] = std::string(kCacheSalt);
+    header["campaign"] = grid.name;
+    header["grid"] = fingerprint;
+    header["cells"] = static_cast<std::int64_t>(cells.size());
+    manifest.line(header.dump());
+  }
+
+  // Metrics registered up front so export order is stable.
+  obs::Gauge* m_total = nullptr;
+  obs::Counter* m_done = nullptr;
+  obs::Counter* m_cached = nullptr;
+  obs::Counter* m_simulated = nullptr;
+  obs::Counter* m_resumed = nullptr;
+  obs::Gauge* m_jobs = nullptr;
+  obs::Gauge* m_wall = nullptr;
+  obs::Gauge* m_occupancy = nullptr;
+  if (opts.metrics) {
+    m_total = opts.metrics->gauge("sweep.cells_total", "cells", "grid size");
+    m_done = opts.metrics->counter("sweep.cells_done", "cells",
+                                   "cells completed this invocation");
+    m_cached = opts.metrics->counter("sweep.cells_cached", "cells",
+                                     "cells served from the result cache");
+    m_simulated = opts.metrics->counter("sweep.cells_simulated", "cells",
+                                        "cells that ran the simulator");
+    m_resumed = opts.metrics->counter("sweep.cells_resumed", "cells",
+                                      "cells skipped via the checkpoint manifest");
+    m_jobs = opts.metrics->gauge("sweep.jobs", "threads", "worker pool size");
+    m_wall = opts.metrics->gauge("sweep.wall_sec", "s", "campaign wall time");
+    m_occupancy = opts.metrics->gauge("sweep.worker_occupancy", "frac",
+                                      "pool busy time / (jobs * wall)");
+    m_total->set(static_cast<double>(cells.size()));
+    m_jobs->set(static_cast<double>(report.jobs));
+  }
+
+  report.cells.resize(cells.size());
+  std::mutex io_mu;  // serializes row/manifest writes + shared counters
+
+  WorkerPool pool(report.jobs);
+  std::size_t scheduled = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    Cell& cell = cells[i];
+    CellOutcome& out = report.cells[i];
+    out.index = i;
+    out.key_hex = spec_key_hex(cell.spec);
+    out.coords = cell.coords;
+
+    // Resumed cells never reach the pool; re-serve from cache if possible.
+    const bool already_done =
+        std::find(done_keys.begin(), done_keys.end(), out.key_hex) != done_keys.end();
+    if (already_done) {
+      out.resumed = true;
+      out.done = true;
+      ++report.resumed;
+      if (m_resumed) m_resumed->increment();
+      if (cache && cache->load(cell.spec, &out.result)) out.cached = true;
+      continue;
+    }
+    if (opts.max_cells > 0 && scheduled >= opts.max_cells) {
+      ++report.pending;
+      continue;
+    }
+    ++scheduled;
+
+    pool.submit([&cell, &out, &report, &results, &manifest, &io_mu, &cache,
+                 m_done, m_cached, m_simulated] {
+      bool cached = false;
+      harness::TestResult result;
+      // Telemetry payloads are not cacheable; bypass the store for them.
+      const bool cacheable = cache && !cell.spec.telemetry.enabled;
+      if (cacheable && cache->load(cell.spec, &result)) {
+        cached = true;
+      } else {
+        result = harness::run_test(cell.spec);
+        if (cacheable) cache->store(cell.spec, result);
+      }
+
+      std::lock_guard<std::mutex> lock(io_mu);
+      out.result = std::move(result);
+      out.cached = cached;
+      out.done = true;
+      if (cached) {
+        ++report.cached;
+        if (m_cached) m_cached->increment();
+      } else {
+        ++report.simulated;
+        if (m_simulated) m_simulated->increment();
+      }
+      if (m_done) m_done->increment();
+      // Result row first, then the manifest line: a cell is only ever
+      // marked done after its row is on disk.
+      results.line(row_json(out, cell.spec.name).dump());
+      Json done = Json::object();
+      done["index"] = static_cast<std::int64_t>(out.index);
+      done["key"] = out.key_hex;
+      manifest.line(done.dump());
+    });
+  }
+  pool.wait();
+
+  report.wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  report.worker_occupancy =
+      report.wall_sec > 0
+          ? pool.busy_seconds() / (static_cast<double>(report.jobs) * report.wall_sec)
+          : 0.0;
+  if (opts.metrics) {
+    m_wall->set(report.wall_sec);
+    m_occupancy->set(report.worker_occupancy);
+  }
+  return report;
+}
+
+// ---- dtnsim-sweep command line ------------------------------------------
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::string item;
+  std::stringstream ss(text);
+  while (std::getline(ss, item, ',')) out.push_back(item);
+  return out;
+}
+
+bool parse_bool_list(const std::string& text, std::vector<bool>* out) {
+  std::vector<bool> values;
+  for (const auto& item : split_list(text)) {
+    if (item == "0") values.push_back(false);
+    else if (item == "1") values.push_back(true);
+    else return false;
+  }
+  if (values.empty()) return false;
+  *out = values;
+  return true;
+}
+
+bool parse_int_list(const std::string& text, std::vector<int>* out,
+                    bool allow_default) {
+  std::vector<int> values;
+  for (const auto& item : split_list(text)) {
+    if (allow_default && item == "default") {
+      values.push_back(-1);
+      continue;
+    }
+    char* end = nullptr;
+    const long v = std::strtol(item.c_str(), &end, 10);
+    if (end != item.c_str() + item.size() || item.empty()) return false;
+    values.push_back(static_cast<int>(v));
+  }
+  if (values.empty()) return false;
+  *out = values;
+  return true;
+}
+
+// Rates with suffixes ("50G") or the word "default" (-> -1).
+bool parse_rate_list(const std::string& text, std::vector<double>* out,
+                     bool allow_default) {
+  std::vector<double> values;
+  for (const auto& item : split_list(text)) {
+    if (allow_default && item == "default") {
+      values.push_back(-1.0);
+      continue;
+    }
+    const auto rate = cli::parse_rate(item);
+    if (!rate) return false;
+    values.push_back(*rate);
+  }
+  if (values.empty()) return false;
+  *out = values;
+  return true;
+}
+
+bool needs_value(const std::string& flag) {
+  return flag == "--name" || flag == "--testbed" || flag == "--kernels" ||
+         flag == "--paths" || flag == "--streams" || flag == "--pacing" ||
+         flag == "--zerocopy" || flag == "--optmem" || flag == "--big-tcp" ||
+         flag == "--ring" || flag == "--congestion" || flag == "--time" ||
+         flag == "--repeats" || flag == "--seed" || flag == "--jobs" ||
+         flag == "--cache" || flag == "--out" || flag == "--checkpoint" ||
+         flag == "--max-cells";
+}
+
+}  // namespace
+
+SweepCli parse_sweep_cli(const std::vector<std::string>& args) {
+  SweepCli o;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string flag = args[i];
+    std::string value;
+    bool has_inline_value = false;
+    if (flag.rfind("--", 0) == 0) {
+      const std::size_t eq = flag.find('=');
+      if (eq != std::string::npos) {
+        value = flag.substr(eq + 1);
+        flag = flag.substr(0, eq);
+        has_inline_value = true;
+      }
+    }
+    if (needs_value(flag) && !has_inline_value) {
+      if (i + 1 >= args.size()) {
+        o.error = "missing value for " + flag;
+        return o;
+      }
+      value = args[++i];
+    } else if (has_inline_value && !needs_value(flag)) {
+      o.error = "flag does not take a value: " + flag;
+      return o;
+    }
+
+    if (flag == "-h" || flag == "--help") {
+      o.show_help = true;
+    } else if (flag == "--name") {
+      o.grid.name = value;
+    } else if (flag == "--testbed") {
+      o.grid.testbed = value;
+    } else if (flag == "--kernels") {
+      o.grid.kernels.clear();
+      for (const auto& item : split_list(value)) {
+        const auto k = cli::parse_kernel(item);
+        if (!k) {
+          o.error = "unknown kernel in --kernels: " + item;
+          return o;
+        }
+        o.grid.kernels.push_back(*k);
+      }
+      if (o.grid.kernels.empty()) {
+        o.error = "--kernels list is empty";
+        return o;
+      }
+    } else if (flag == "--paths") {
+      o.grid.paths = split_list(value);
+      if (o.grid.paths.empty()) {
+        o.error = "--paths list is empty";
+        return o;
+      }
+    } else if (flag == "--streams") {
+      if (!parse_int_list(value, &o.grid.streams, /*allow_default=*/false)) {
+        o.error = "bad --streams list: " + value;
+        return o;
+      }
+    } else if (flag == "--pacing") {
+      std::vector<double> bps;
+      if (!parse_rate_list(value, &bps, /*allow_default=*/false)) {
+        o.error = "bad --pacing list: " + value;
+        return o;
+      }
+      o.grid.pacing_gbps.clear();
+      for (const double b : bps) o.grid.pacing_gbps.push_back(b / 1e9);
+    } else if (flag == "--zerocopy") {
+      if (!parse_bool_list(value, &o.grid.zerocopy)) {
+        o.error = "bad --zerocopy list (0/1): " + value;
+        return o;
+      }
+    } else if (flag == "--optmem") {
+      if (!parse_rate_list(value, &o.grid.optmem_max, /*allow_default=*/true)) {
+        o.error = "bad --optmem list: " + value;
+        return o;
+      }
+    } else if (flag == "--big-tcp") {
+      if (!parse_bool_list(value, &o.grid.big_tcp)) {
+        o.error = "bad --big-tcp list (0/1): " + value;
+        return o;
+      }
+    } else if (flag == "--ring") {
+      if (!parse_int_list(value, &o.grid.ring, /*allow_default=*/true)) {
+        o.error = "bad --ring list: " + value;
+        return o;
+      }
+    } else if (flag == "--congestion") {
+      const auto algo = cli::parse_congestion(value);
+      if (!algo) {
+        o.error = "unknown congestion algorithm: " + value;
+        return o;
+      }
+      o.grid.congestion = *algo;
+    } else if (flag == "--skip-rx-copy") {
+      o.grid.skip_rx_copy = true;
+    } else if (flag == "--time") {
+      o.grid.duration_sec = std::atof(value.c_str());
+      if (o.grid.duration_sec <= 0) {
+        o.error = "duration must be positive";
+        return o;
+      }
+    } else if (flag == "--repeats") {
+      o.grid.repeats = std::atoi(value.c_str());
+      if (o.grid.repeats < 1) {
+        o.error = "repeats must be >= 1";
+        return o;
+      }
+    } else if (flag == "--seed") {
+      o.grid.base_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--jobs") {
+      char* end = nullptr;
+      const long jobs = std::strtol(value.c_str(), &end, 10);
+      if (end != value.c_str() + value.size() || value.empty() || jobs < 0) {
+        o.error = "bad --jobs (need >= 0; 0 = hardware threads): " + value;
+        return o;
+      }
+      o.run.jobs = static_cast<int>(jobs);
+    } else if (flag == "--cache") {
+      o.run.cache_dir = value;
+    } else if (flag == "--out") {
+      o.run.results_path = value;
+    } else if (flag == "--checkpoint") {
+      o.run.checkpoint_path = value;
+    } else if (flag == "--resume") {
+      o.run.resume = true;
+    } else if (flag == "--max-cells") {
+      const long n = std::atol(value.c_str());
+      if (n < 0) {
+        o.error = "--max-cells must be >= 0";
+        return o;
+      }
+      o.run.max_cells = static_cast<std::size_t>(n);
+    } else if (flag == "--quick") {
+      o.quick = true;
+    } else {
+      o.error = "unknown flag: " + flag;
+      return o;
+    }
+  }
+  if (o.quick) {
+    o.grid.duration_sec = 2.0;
+    o.grid.repeats = 2;
+  }
+  return o;
+}
+
+std::string sweep_cli_help() {
+  return
+      "dtnsim-sweep — parallel campaign engine over the dtnsim harness\n"
+      "\n"
+      "grid axes (comma-separated lists; every combination is one cell):\n"
+      "      --kernels LIST     e.g. 5.15,6.5,6.8\n"
+      "      --paths LIST       e.g. LAN,WAN 63ms  (empty item = testbed LAN)\n"
+      "      --streams LIST     iperf -P values, e.g. 1,8,16\n"
+      "      --pacing LIST      per-stream fq rates, e.g. 0,20G,50G (0 = unpaced)\n"
+      "      --zerocopy LIST    0,1\n"
+      "      --optmem LIST      bytes or 'default', e.g. default,1M\n"
+      "      --big-tcp LIST     0,1\n"
+      "      --ring LIST        descriptors or 'default', e.g. default,8192\n"
+      "grid constants:\n"
+      "      --name S           campaign name (default 'campaign')\n"
+      "      --testbed NAME     amlight | amlight-baremetal | esnet | production\n"
+      "      --congestion A     cubic | bbr | bbr3 | reno\n"
+      "      --skip-rx-copy     MSG_TRUNC receives in every cell\n"
+      "      --time SEC         per-run duration (default 60)\n"
+      "      --repeats N        harness repeats per cell (default 10)\n"
+      "      --seed N           campaign base seed (cell seeds derive from it)\n"
+      "      --quick            smoke preset: --time 2 --repeats 2\n"
+      "execution (docs/SWEEP.md):\n"
+      "      --jobs N           worker threads (default 1; 0 = hardware threads)\n"
+      "      --cache DIR        content-addressed result cache directory\n"
+      "      --out FILE         stream one JSONL row per finished cell\n"
+      "      --checkpoint FILE  manifest path (default: <out>.ckpt)\n"
+      "      --resume           skip cells the manifest marks complete\n"
+      "      --max-cells K      stop after K cells (interrupt-style testing)\n";
+}
+
+int run_sweep_cli(const SweepCli& cli, std::string& output) {
+  if (!cli.error.empty()) {
+    output = "error: " + cli.error + "\n\n" + sweep_cli_help();
+    return 2;
+  }
+  if (cli.show_help) {
+    output = sweep_cli_help();
+    return 0;
+  }
+
+  CampaignReport report;
+  try {
+    report = run_campaign(cli.grid, cli.run);
+  } catch (const std::exception& e) {
+    output = strfmt("error: %s\n", e.what());
+    return 2;
+  }
+
+  output = strfmt("campaign '%s': %zu cells, jobs=%d\n", report.name.c_str(),
+                  report.total, report.jobs);
+  for (const auto& cell : report.cells) {
+    if (!cell.done) continue;
+    const char* tag = cell.resumed ? " [resumed]" : cell.cached ? " [cached]" : "";
+    if (cell.result.repeats > 0) {
+      output += strfmt("  #%03zu %-56s %7.2f ± %5.2f Gbps%s\n", cell.index,
+                       cell.result.name.c_str(), cell.result.avg_gbps,
+                       cell.result.stdev_gbps, tag);
+    } else {
+      output += strfmt("  #%03zu (result in prior output; not cached)%s\n",
+                       cell.index, tag);
+    }
+  }
+  output += strfmt(
+      "summary: total=%zu simulated=%zu cached=%zu resumed=%zu pending=%zu\n"
+      "wall=%.2fs occupancy=%.0f%%\n",
+      report.total, report.simulated, report.cached, report.resumed,
+      report.pending, report.wall_sec, report.worker_occupancy * 100.0);
+  return 0;
+}
+
+}  // namespace dtnsim::sweep

@@ -1,6 +1,7 @@
 #include "dtnsim/util/json.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "dtnsim/util/strfmt.hpp"
@@ -29,6 +30,26 @@ const Json* Json::find(const std::string& key) const {
   if (kind_ != Kind::Object) return nullptr;
   const auto it = obj_.find(key);
   return it == obj_.end() ? nullptr : &it->second;
+}
+
+double Json::number_at(const std::string& key, double fallback) const {
+  const Json* v = find(key);
+  return v ? v->number_or(fallback) : fallback;
+}
+
+bool Json::bool_at(const std::string& key, bool fallback) const {
+  const Json* v = find(key);
+  return v ? v->bool_or(fallback) : fallback;
+}
+
+std::string Json::string_at(const std::string& key, std::string fallback) const {
+  const Json* v = find(key);
+  return v ? v->string_or(std::move(fallback)) : std::move(fallback);
+}
+
+const Json* Json::at(std::size_t i) const {
+  if (kind_ != Kind::Array || i >= arr_.size()) return nullptr;
+  return &arr_[i];
 }
 
 void Json::push_back(Json v) {
@@ -99,7 +120,12 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
       if (std::isfinite(num_) && num_ == std::floor(num_) && std::fabs(num_) < 9.0e15) {
         out += strfmt("%lld", static_cast<long long>(num_));
       } else {
-        out += strfmt("%.6g", num_);
+        // Shortest representation that parses back to the exact same double
+        // — the sweep result cache requires dump/parse to round-trip
+        // bit-identically (a cached cell must equal the simulated one).
+        std::string text = strfmt("%.15g", num_);
+        if (std::strtod(text.c_str(), nullptr) != num_) text = strfmt("%.17g", num_);
+        out += text;
       }
       break;
     }
@@ -148,6 +174,185 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
 std::string Json::dump(int indent) const {
   std::string out;
   dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view cursor. Depth-limited so a
+// hostile (or corrupted) deeply nested document cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parse_document(Json* out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    return pos_ == text_.size();  // trailing garbage rejects the document
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool eat_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(Json* out, int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case 'n':
+        return eat_word("null") && (*out = Json(), true);
+      case 't':
+        return eat_word("true") && (*out = Json(true), true);
+      case 'f':
+        return eat_word("false") && (*out = Json(false), true);
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = Json(std::move(s));
+        return true;
+      }
+      case '[': {
+        ++pos_;
+        *out = Json::array();
+        skip_ws();
+        if (eat(']')) return true;
+        while (true) {
+          Json elem;
+          skip_ws();
+          if (!parse_value(&elem, depth + 1)) return false;
+          out->push_back(std::move(elem));
+          skip_ws();
+          if (eat(']')) return true;
+          if (!eat(',')) return false;
+        }
+      }
+      case '{': {
+        ++pos_;
+        *out = Json::object();
+        skip_ws();
+        if (eat('}')) return true;
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (!eat(':')) return false;
+          skip_ws();
+          if (!parse_value(&(*out)[key], depth + 1)) return false;
+          skip_ws();
+          if (eat('}')) return true;
+          if (!eat(',')) return false;
+        }
+      }
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_number(Json* out) {
+    // Copy the token before strtod: the view need not be NUL-terminated.
+    std::string token;
+    std::size_t p = pos_;
+    while (p < text_.size()) {
+      const char c = text_[p];
+      if ((c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.' ||
+          c == 'e' || c == 'E') {
+        token += c;
+        ++p;
+      } else {
+        break;
+      }
+    }
+    if (token.empty()) return false;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return false;
+    pos_ = p;
+    *out = Json(value);
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!eat('"')) return false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      c = text_[pos_++];
+      switch (c) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size()) return false;
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by our serializer; a lone surrogate encodes as-is).
+          if (cp < 0x80) {
+            *out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            *out += static_cast<char>(0xC0 | (cp >> 6));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (cp >> 12));
+            *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated string
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Json out;
+  Parser p(text);
+  if (!p.parse_document(&out)) return std::nullopt;
   return out;
 }
 

@@ -1,33 +1,43 @@
 #include "dtnsim/util/log.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "dtnsim/util/strfmt.hpp"
 
 namespace dtnsim::log {
 namespace {
 
-Level g_level = Level::Warn;
-bool g_env_checked = false;
-TimeSource g_time_source;
+// The level is process-wide and may be read from any worker thread while the
+// main thread (or DTNSIM_LOG pickup) writes it; relaxed atomics suffice — a
+// message racing a level change may use either level, never torn state.
+std::atomic<Level> g_level{Level::Warn};
+std::atomic<bool> g_env_checked{false};
+std::once_flag g_env_once;
+// Each engine binds the clock of the run *it* is driving; with the sweep
+// worker pool several engines run concurrently, so the binding is per-thread.
+thread_local TimeSource g_time_source;
 
 // One-time DTNSIM_LOG pickup; an explicit set_level() also marks the env as
 // consumed so callers always win over the environment.
 void ensure_env_level() {
-  if (g_env_checked) return;
-  g_env_checked = true;
-  const char* env = std::getenv("DTNSIM_LOG");
-  if (!env || !*env) return;
-  Level parsed;
-  if (parse_level(env, &parsed)) {
-    g_level = parsed;
-  } else {
-    std::fprintf(stderr, "[dtnsim WARN] DTNSIM_LOG=%s not recognized "
-                         "(debug|info|warn|error|off)\n", env);
-  }
+  if (g_env_checked.load(std::memory_order_relaxed)) return;
+  std::call_once(g_env_once, [] {
+    if (g_env_checked.exchange(true)) return;  // set_level() beat us to it
+    const char* env = std::getenv("DTNSIM_LOG");
+    if (!env || !*env) return;
+    Level parsed;
+    if (parse_level(env, &parsed)) {
+      g_level.store(parsed, std::memory_order_relaxed);
+    } else {
+      std::fprintf(stderr, "[dtnsim WARN] DTNSIM_LOG=%s not recognized "
+                           "(debug|info|warn|error|off)\n", env);
+    }
+  });
 }
 
 const char* level_name(Level level) {
@@ -62,13 +72,13 @@ bool parse_level(const std::string& name, Level* out) {
 }
 
 void set_level(Level level) {
-  g_env_checked = true;
-  g_level = level;
+  g_env_checked.store(true, std::memory_order_relaxed);
+  g_level.store(level, std::memory_order_relaxed);
 }
 
 Level level() {
   ensure_env_level();
-  return g_level;
+  return g_level.load(std::memory_order_relaxed);
 }
 
 TimeSource bind_time_source(TimeSource source) {

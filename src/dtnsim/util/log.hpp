@@ -25,6 +25,9 @@ bool parse_level(const std::string& name, Level* out);
 // Bind/unbind the simulated-clock source used to prefix messages. The
 // engine binds itself for the duration of run()/run_until(); nested runs
 // restore the previous source. Returns the previously bound source.
+// The binding is thread-local: each sweep worker's engine stamps only the
+// messages emitted from its own thread, so concurrent runs never cross
+// clocks (and never race on the binding).
 using TimeSource = std::function<Nanos()>;
 TimeSource bind_time_source(TimeSource source);
 

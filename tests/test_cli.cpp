@@ -61,6 +61,17 @@ TEST(ParseCli, FullCommandLine) {
   EXPECT_TRUE(o.iperf.json);
 }
 
+TEST(ParseCli, JobsFlag) {
+  EXPECT_EQ(parse_cli({}).jobs, 1);  // serial by default
+  EXPECT_EQ(parse_cli({"--jobs", "4"}).jobs, 4);
+  EXPECT_EQ(parse_cli({"--jobs=8"}).jobs, 8);
+  EXPECT_EQ(parse_cli({"--jobs", "0"}).jobs, 0);  // 0 = hardware threads
+  EXPECT_FALSE(parse_cli({"--jobs", "-2"}).error.empty());
+  EXPECT_FALSE(parse_cli({"--jobs", "four"}).error.empty());
+  EXPECT_FALSE(parse_cli({"--jobs", "4x"}).error.empty());
+  EXPECT_FALSE(parse_cli({"--jobs"}).error.empty());  // missing value
+}
+
 TEST(ParseCli, BigTcpOptionalSize) {
   const auto with_size = parse_cli({"--big-tcp", "256k"});
   EXPECT_TRUE(with_size.big_tcp);

@@ -1,0 +1,461 @@
+// Unit + integration tests: the sweep campaign engine.
+//
+// The determinism contract is the subsystem's whole point, so the tests
+// here are the enforcement: cache keys must not depend on field order,
+// parallel output must be bit-identical to serial, and a resumed campaign
+// must never re-simulate a completed cell.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "dtnsim/sweep/cache.hpp"
+#include "dtnsim/sweep/campaign.hpp"
+#include "dtnsim/sweep/grid.hpp"
+#include "dtnsim/sweep/pool.hpp"
+
+namespace dtnsim::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh scratch directory per test.
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("dtnsim_sweep_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// The 12-cell grid the acceptance criteria call out: 3 kernels x 2 paths x
+// 2 stream counts, kept cheap (2 s x 2 repeats).
+GridSpec twelve_cell_grid() {
+  GridSpec g;
+  g.name = "t12";
+  g.testbed = "esnet";
+  g.kernels = {kern::KernelVersion::V5_15, kern::KernelVersion::V6_5,
+               kern::KernelVersion::V6_8};
+  g.paths = {"LAN", "WAN 63ms"};
+  g.streams = {1, 2};
+  g.duration_sec = 2;
+  g.repeats = 2;
+  return g;
+}
+
+void expect_same_result(const harness::TestResult& a, const harness::TestResult& b) {
+  EXPECT_EQ(a.repeats, b.repeats);
+  EXPECT_DOUBLE_EQ(a.avg_gbps, b.avg_gbps);
+  EXPECT_DOUBLE_EQ(a.min_gbps, b.min_gbps);
+  EXPECT_DOUBLE_EQ(a.max_gbps, b.max_gbps);
+  EXPECT_DOUBLE_EQ(a.stdev_gbps, b.stdev_gbps);
+  EXPECT_DOUBLE_EQ(a.avg_retransmits, b.avg_retransmits);
+  EXPECT_DOUBLE_EQ(a.snd_cpu_pct, b.snd_cpu_pct);
+  EXPECT_DOUBLE_EQ(a.rcv_cpu_pct, b.rcv_cpu_pct);
+  EXPECT_EQ(a.samples_gbps, b.samples_gbps);
+}
+
+// ---- worker pool ---------------------------------------------------------
+
+TEST(WorkerPool, ResolveJobs) {
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(4), 4);
+  EXPECT_EQ(resolve_jobs(-3), 1);
+  EXPECT_GE(resolve_jobs(0), 1);  // hardware_concurrency, at least one
+}
+
+TEST(WorkerPool, RunsEveryJobExactlyOnce) {
+  for (const int jobs : {1, 4}) {
+    std::vector<int> hits(100, 0);
+    parallel_for(hits.size(), jobs, [&](std::size_t i) { hits[i] += 1; });
+    EXPECT_EQ(std::count(hits.begin(), hits.end(), 1), 100) << "jobs=" << jobs;
+  }
+}
+
+TEST(WorkerPool, WaitRethrowsFirstJobError) {
+  for (const int jobs : {1, 4}) {
+    WorkerPool pool(jobs);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([i, &ran] {
+        ++ran;
+        if (i == 3) throw std::runtime_error("job 3 failed");
+      });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error) << "jobs=" << jobs;
+    EXPECT_EQ(ran.load(), 8);  // remaining jobs still ran
+  }
+}
+
+TEST(WorkerPool, TracksBusyTime) {
+  WorkerPool pool(2);
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([] {
+      std::atomic<double> sink{0};
+      for (int k = 0; k < 100000; ++k) sink.store(sink.load() + k);
+    });
+  }
+  pool.wait();
+  EXPECT_GT(pool.busy_seconds(), 0.0);
+}
+
+// ---- grid expansion ------------------------------------------------------
+
+TEST(Grid, ExpansionIsRowMajorAndStable) {
+  const auto grid = twelve_cell_grid();
+  EXPECT_EQ(cell_count(grid), 12u);
+  const auto cells = expand(grid);
+  ASSERT_EQ(cells.size(), 12u);
+  // Kernels are the slowest axis, streams the fastest of the varied ones.
+  EXPECT_EQ(cells[0].coords[0], (std::pair<std::string, std::string>{"kernel", "5.15"}));
+  EXPECT_EQ(cells[0].coords[2].second, "1");
+  EXPECT_EQ(cells[1].coords[2].second, "2");
+  EXPECT_EQ(cells[4].coords[0].second, "6.5");
+  EXPECT_EQ(cells[11].coords[0].second, "6.8");
+  for (std::size_t i = 0; i < cells.size(); ++i) EXPECT_EQ(cells[i].index, i);
+  // Same grid, same order, same specs (keys are the full-content check).
+  const auto again = expand(grid);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(spec_key(cells[i].spec), spec_key(again[i].spec));
+  }
+}
+
+TEST(Grid, PerCellSeedsAreDistinctAndContentDerived) {
+  const auto cells = expand(twelve_cell_grid());
+  std::set<std::uint64_t> seeds;
+  for (const auto& c : cells) seeds.insert(c.spec.base_seed);
+  EXPECT_EQ(seeds.size(), cells.size());  // no two cells share a seed
+
+  // Reordering axis *values* moves cells around but must not change the
+  // seed a given configuration gets — seeds derive from content, not index.
+  auto reordered = twelve_cell_grid();
+  std::reverse(reordered.kernels.begin(), reordered.kernels.end());
+  std::reverse(reordered.streams.begin(), reordered.streams.end());
+  const auto shuffled = expand(reordered);
+  for (const auto& a : cells) {
+    const auto match = std::find_if(
+        shuffled.begin(), shuffled.end(),
+        [&](const Cell& b) { return b.coords == a.coords; });
+    ASSERT_NE(match, shuffled.end());
+    EXPECT_EQ(match->spec.base_seed, a.spec.base_seed);
+    EXPECT_EQ(spec_key(match->spec), spec_key(a.spec));
+  }
+}
+
+TEST(Grid, ValidatesAxesAndNames) {
+  auto grid = twelve_cell_grid();
+  grid.streams.clear();
+  EXPECT_NE(validate(grid), "");
+  EXPECT_THROW(expand(grid), std::invalid_argument);
+
+  grid = twelve_cell_grid();
+  grid.testbed = "wishful";
+  EXPECT_NE(validate(grid), "");
+
+  grid = twelve_cell_grid();
+  grid.paths = {"WAN 9999ms"};
+  EXPECT_NE(validate(grid), "");
+
+  EXPECT_EQ(validate(twelve_cell_grid()), "");
+}
+
+// ---- cache keys ----------------------------------------------------------
+
+TEST(Cache, KeyIgnoresFieldOrder) {
+  const auto cells = expand(twelve_cell_grid());
+  auto fields = spec_fields(cells[0].spec);
+  auto shuffled = fields;
+  // A deterministic shuffle: rotate + swap ends.
+  std::rotate(shuffled.begin(), shuffled.begin() + shuffled.size() / 2, shuffled.end());
+  std::swap(shuffled.front(), shuffled.back());
+  EXPECT_NE(fields, shuffled);
+  EXPECT_EQ(canonicalize(fields), canonicalize(shuffled));
+  EXPECT_EQ(fnv1a64(canonicalize(fields)), fnv1a64(canonicalize(shuffled)));
+}
+
+TEST(Cache, KeyChangesWithEveryKnob) {
+  const auto base = expand(twelve_cell_grid())[0].spec;
+  const auto base_key = spec_key(base);
+
+  auto s = base;
+  s.repeats += 1;
+  EXPECT_NE(spec_key(s), base_key);
+  s = base;
+  s.base_seed ^= 1;
+  EXPECT_NE(spec_key(s), base_key);
+  s = base;
+  s.iperf.parallel += 1;
+  EXPECT_NE(spec_key(s), base_key);
+  s = base;
+  s.iperf.zerocopy = !s.iperf.zerocopy;
+  EXPECT_NE(spec_key(s), base_key);
+  s = base;
+  s.sender.tuning.sysctl.optmem_max += 1;
+  EXPECT_NE(spec_key(s), base_key);
+  s = base;
+  s.sender.tuning.ring_descriptors *= 2;
+  EXPECT_NE(spec_key(s), base_key);
+  s = base;
+  s.sender.tuning.big_tcp_enabled = !s.sender.tuning.big_tcp_enabled;
+  EXPECT_NE(spec_key(s), base_key);
+  s = base;
+  s.path.rtt += 1;
+  EXPECT_NE(spec_key(s), base_key);
+  s = base;
+  s.receiver.kernel = kern::kernel_profile(kern::KernelVersion::V5_10);
+  EXPECT_NE(spec_key(s), base_key);
+
+  // Cosmetic labels are NOT part of the address.
+  s = base;
+  s.name = "a completely different label";
+  s.path.name = "renamed path";
+  EXPECT_EQ(spec_key(s), base_key);
+}
+
+TEST(Cache, StoreLoadRoundTrip) {
+  const std::string dir = scratch_dir("roundtrip");
+  ResultCache cache(dir);
+  auto spec = expand(twelve_cell_grid())[0].spec;
+
+  harness::TestResult miss;
+  EXPECT_FALSE(cache.load(spec, &miss));
+
+  const auto result = harness::run_test(spec);
+  ASSERT_TRUE(cache.store(spec, result));
+  harness::TestResult loaded;
+  ASSERT_TRUE(cache.load(spec, &loaded));
+  expect_same_result(result, loaded);
+  EXPECT_EQ(loaded.name, spec.name);
+
+  // A truncated entry (kill mid-write would leave the .tmp, but guard the
+  // final file too) must read as a miss, not a crash.
+  {
+    std::ofstream truncate(cache.path_for(spec), std::ios::trunc);
+    truncate << "{\"repeats\": 2, \"avg_gb";
+  }
+  EXPECT_FALSE(cache.load(spec, &loaded));
+}
+
+// ---- campaigns -----------------------------------------------------------
+
+TEST(Campaign, ParallelOutputMatchesSerial) {
+  const auto grid = twelve_cell_grid();
+  CampaignOptions serial;
+  serial.jobs = 1;
+  CampaignOptions parallel;
+  parallel.jobs = 4;
+
+  const auto a = run_campaign(grid, serial);
+  const auto b = run_campaign(grid, parallel);
+  ASSERT_EQ(a.cells.size(), 12u);
+  ASSERT_EQ(b.cells.size(), 12u);
+  EXPECT_EQ(a.simulated, 12u);
+  EXPECT_EQ(b.simulated, 12u);
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(b.cells[i].index, i);
+    EXPECT_EQ(a.cells[i].key_hex, b.cells[i].key_hex);
+    expect_same_result(a.cells[i].result, b.cells[i].result);
+  }
+}
+
+TEST(Campaign, RunTestsBatchMatchesSerial) {
+  // harness::run_tests rides the same pool; spec order must hold at any
+  // job count.
+  std::vector<harness::TestSpec> specs;
+  for (const auto& c : expand(twelve_cell_grid())) specs.push_back(c.spec);
+  const auto serial = harness::run_tests(specs, 1);
+  const auto parallel = harness::run_tests(specs, 4);
+  ASSERT_EQ(serial.size(), specs.size());
+  ASSERT_EQ(parallel.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(serial[i].name, specs[i].name);
+    EXPECT_EQ(parallel[i].name, specs[i].name);
+    expect_same_result(serial[i], parallel[i]);
+  }
+}
+
+TEST(Campaign, SecondRunIsAllCacheHits) {
+  const std::string dir = scratch_dir("cachehits");
+  const auto grid = twelve_cell_grid();
+  CampaignOptions opts;
+  opts.jobs = 4;
+  opts.cache_dir = dir + "/cache";
+
+  const auto first = run_campaign(grid, opts);
+  EXPECT_EQ(first.simulated, 12u);
+  EXPECT_EQ(first.cached, 0u);
+
+  const auto second = run_campaign(grid, opts);
+  EXPECT_EQ(second.simulated, 0u);
+  EXPECT_EQ(second.cached, 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_TRUE(second.cells[i].cached);
+    expect_same_result(first.cells[i].result, second.cells[i].result);
+  }
+}
+
+TEST(Campaign, StreamsJsonlRowsAndMetrics) {
+  const std::string dir = scratch_dir("jsonl");
+  const auto grid = twelve_cell_grid();
+  CampaignOptions opts;
+  opts.jobs = 4;
+  opts.results_path = dir + "/rows.jsonl";
+
+  obs::Registry registry;
+  opts.metrics = &registry;
+  const auto report = run_campaign(grid, opts);
+  EXPECT_GT(report.wall_sec, 0.0);
+  EXPECT_GT(report.worker_occupancy, 0.0);
+
+  EXPECT_DOUBLE_EQ(registry.value_of("sweep.cells_total"), 12.0);
+  EXPECT_DOUBLE_EQ(registry.value_of("sweep.cells_done"), 12.0);
+  EXPECT_DOUBLE_EQ(registry.value_of("sweep.cells_simulated"), 12.0);
+  EXPECT_DOUBLE_EQ(registry.value_of("sweep.cells_cached"), 0.0);
+  EXPECT_DOUBLE_EQ(registry.value_of("sweep.jobs"), 4.0);
+  EXPECT_GT(registry.value_of("sweep.worker_occupancy"), 0.0);
+
+  // One well-formed row per cell, every index exactly once.
+  std::ifstream in(opts.results_path);
+  ASSERT_TRUE(in.is_open());
+  std::set<int> indices;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto row = Json::parse(line);
+    ASSERT_TRUE(row.has_value()) << line;
+    indices.insert(static_cast<int>(row->number_at("index", -1)));
+    EXPECT_GT(row->number_at("avg_gbps", 0.0), 0.0);
+    ASSERT_NE(row->find("coords"), nullptr);
+  }
+  EXPECT_EQ(indices.size(), 12u);
+  EXPECT_EQ(*indices.begin(), 0);
+  EXPECT_EQ(*indices.rbegin(), 11);
+}
+
+TEST(Campaign, ResumeNeverRerunsCompletedCells) {
+  const std::string dir = scratch_dir("resume");
+  const auto grid = twelve_cell_grid();
+  CampaignOptions opts;
+  opts.jobs = 2;
+  opts.cache_dir = dir + "/cache";
+  opts.results_path = dir + "/rows.jsonl";
+
+  // "Kill" the campaign after 5 cells.
+  auto interrupted = opts;
+  interrupted.max_cells = 5;
+  const auto first = run_campaign(grid, interrupted);
+  EXPECT_EQ(first.simulated, 5u);
+  EXPECT_EQ(first.pending, 7u);
+
+  // Resume: exactly the 7 remaining cells simulate; nothing re-runs.
+  auto resumed = opts;
+  resumed.resume = true;
+  const auto second = run_campaign(grid, resumed);
+  EXPECT_EQ(second.simulated, 7u);
+  EXPECT_EQ(second.resumed, 5u);
+  EXPECT_EQ(second.pending, 0u);
+  for (const auto& cell : second.cells) EXPECT_TRUE(cell.done);
+  // Resumed cells re-serve their results from the cache.
+  EXPECT_TRUE(second.cells[0].resumed);
+  EXPECT_GT(second.cells[0].result.repeats, 0);
+
+  // The appended JSONL now holds all 12 rows, each index exactly once.
+  std::ifstream in(opts.results_path);
+  std::set<int> indices;
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    const auto row = Json::parse(line);
+    ASSERT_TRUE(row.has_value());
+    indices.insert(static_cast<int>(row->number_at("index", -1)));
+    ++rows;
+  }
+  EXPECT_EQ(rows, 12u);
+  EXPECT_EQ(indices.size(), 12u);
+
+  // Resuming against a *different* grid must refuse, not mix campaigns.
+  auto other = grid;
+  other.streams = {1, 4};
+  EXPECT_THROW(run_campaign(other, resumed), std::runtime_error);
+}
+
+// ---- sweep CLI -----------------------------------------------------------
+
+TEST(SweepCli, ParsesFullGrid) {
+  const auto cli = parse_sweep_cli(
+      {"--name", "nightly", "--testbed", "amlight", "--kernels", "5.15,6.8",
+       "--paths", "LAN,WAN 104ms", "--streams", "1,8", "--pacing", "0,50G",
+       "--zerocopy", "0,1", "--optmem", "default,1M", "--big-tcp", "0,1",
+       "--ring", "default,8192", "--congestion", "bbr3", "--skip-rx-copy",
+       "--time", "30", "--repeats", "5", "--seed", "7", "--jobs", "0",
+       "--cache", "/tmp/c", "--out", "/tmp/r.jsonl", "--resume",
+       "--max-cells", "9"});
+  ASSERT_TRUE(cli.error.empty()) << cli.error;
+  EXPECT_EQ(cli.grid.name, "nightly");
+  EXPECT_EQ(cli.grid.testbed, "amlight");
+  EXPECT_EQ(cli.grid.kernels,
+            (std::vector<kern::KernelVersion>{kern::KernelVersion::V5_15,
+                                              kern::KernelVersion::V6_8}));
+  EXPECT_EQ(cli.grid.paths, (std::vector<std::string>{"LAN", "WAN 104ms"}));
+  EXPECT_EQ(cli.grid.streams, (std::vector<int>{1, 8}));
+  EXPECT_EQ(cli.grid.pacing_gbps, (std::vector<double>{0.0, 50.0}));
+  EXPECT_EQ(cli.grid.zerocopy, (std::vector<bool>{false, true}));
+  EXPECT_EQ(cli.grid.optmem_max, (std::vector<double>{-1.0, 1e6}));
+  EXPECT_EQ(cli.grid.big_tcp, (std::vector<bool>{false, true}));
+  EXPECT_EQ(cli.grid.ring, (std::vector<int>{-1, 8192}));
+  EXPECT_EQ(cli.grid.congestion, kern::CongestionAlgo::BbrV3);
+  EXPECT_TRUE(cli.grid.skip_rx_copy);
+  EXPECT_DOUBLE_EQ(cli.grid.duration_sec, 30.0);
+  EXPECT_EQ(cli.grid.repeats, 5);
+  EXPECT_EQ(cli.grid.base_seed, 7u);
+  EXPECT_EQ(cli.run.jobs, 0);
+  EXPECT_EQ(cli.run.cache_dir, "/tmp/c");
+  EXPECT_EQ(cli.run.results_path, "/tmp/r.jsonl");
+  EXPECT_TRUE(cli.run.resume);
+  EXPECT_EQ(cli.run.max_cells, 9u);
+  EXPECT_EQ(cell_count(cli.grid), 2u * 2 * 2 * 2 * 2 * 2 * 2 * 2);
+}
+
+TEST(SweepCli, RejectsGarbage) {
+  EXPECT_FALSE(parse_sweep_cli({"--kernels", "4.19"}).error.empty());
+  EXPECT_FALSE(parse_sweep_cli({"--streams", "1,banana"}).error.empty());
+  EXPECT_FALSE(parse_sweep_cli({"--zerocopy", "0,2"}).error.empty());
+  EXPECT_FALSE(parse_sweep_cli({"--jobs", "-1"}).error.empty());
+  EXPECT_FALSE(parse_sweep_cli({"--pacing"}).error.empty());
+  EXPECT_FALSE(parse_sweep_cli({"--frobnicate", "1"}).error.empty());
+  EXPECT_TRUE(parse_sweep_cli({"--jobs", "0"}).error.empty());
+}
+
+TEST(SweepCli, QuickPresetAndHelp) {
+  const auto cli = parse_sweep_cli({"--quick"});
+  ASSERT_TRUE(cli.error.empty());
+  EXPECT_DOUBLE_EQ(cli.grid.duration_sec, 2.0);
+  EXPECT_EQ(cli.grid.repeats, 2);
+
+  std::string output;
+  EXPECT_EQ(run_sweep_cli(parse_sweep_cli({"--help"}), output), 0);
+  EXPECT_NE(output.find("--jobs"), std::string::npos);
+  EXPECT_EQ(run_sweep_cli(parse_sweep_cli({"--bogus", "x"}), output), 2);
+}
+
+TEST(SweepCli, EndToEndTinyCampaign) {
+  const std::string dir = scratch_dir("cli_e2e");
+  std::string output;
+  const auto cli = parse_sweep_cli({"--quick", "--kernels", "6.8", "--paths", "LAN",
+                                    "--streams", "1,2", "--jobs", "2", "--cache",
+                                    dir + "/cache", "--out", dir + "/rows.jsonl"});
+  ASSERT_TRUE(cli.error.empty()) << cli.error;
+  EXPECT_EQ(run_sweep_cli(cli, output), 0);
+  EXPECT_NE(output.find("summary: total=2 simulated=2 cached=0"), std::string::npos)
+      << output;
+
+  // Second invocation: all cache hits, zero simulation work.
+  EXPECT_EQ(run_sweep_cli(cli, output), 0);
+  EXPECT_NE(output.find("summary: total=2 simulated=0 cached=2"), std::string::npos)
+      << output;
+}
+
+}  // namespace
+}  // namespace dtnsim::sweep

@@ -188,6 +188,76 @@ TEST(Json, PrettyPrint) {
   EXPECT_NE(s.find("{\n  \"a\": 1\n}"), std::string::npos);
 }
 
+TEST(JsonParse, RoundTripsDumpedDocuments) {
+  Json j = Json::object();
+  j["num"] = 1048576;
+  j["frac"] = 2.5;
+  j["neg"] = -3;
+  j["text"] = "line\n\"quote\"\\";
+  j["yes"] = true;
+  j["no"] = false;
+  j["nil"] = nullptr;
+  j["nested"]["x"] = 1;
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  j["arr"] = std::move(arr);
+
+  const auto parsed = Json::parse(j.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dump(), j.dump());
+}
+
+TEST(JsonParse, TypedAccessors) {
+  const auto j = Json::parse(R"({"n": 4.5, "b": true, "s": "hi", "a": [10, 20]})");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_DOUBLE_EQ(j->number_at("n", 0), 4.5);
+  EXPECT_TRUE(j->bool_at("b", false));
+  EXPECT_EQ(j->string_at("s", ""), "hi");
+  EXPECT_DOUBLE_EQ(j->number_at("missing", -1), -1.0);
+  EXPECT_EQ(j->find("missing"), nullptr);
+  const Json* a = j->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 2u);
+  EXPECT_DOUBLE_EQ(a->at(0)->number_or(0), 10.0);
+  EXPECT_DOUBLE_EQ(a->at(1)->number_or(0), 20.0);
+  EXPECT_EQ(a->at(2), nullptr);  // out of range
+}
+
+TEST(JsonParse, StringEscapes) {
+  const auto j = Json::parse(R"({"k": "a\tbA\\\"/"})");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->string_at("k", ""), "a\tbA\\\"/");
+  // \uXXXX escapes decode to UTF-8.
+  const auto u = Json::parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->string_or(""), "A\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedAndTruncated) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse(R"({"k": )").has_value());          // truncated value
+  EXPECT_FALSE(Json::parse(R"({"k": 1,})").has_value());       // trailing comma
+  EXPECT_FALSE(Json::parse(R"({"k": 1} extra)").has_value());  // trailing garbage
+  EXPECT_FALSE(Json::parse(R"({"k": tru)").has_value());       // cut keyword
+  EXPECT_FALSE(Json::parse(R"({"k": "unterminated)").has_value());
+  EXPECT_FALSE(Json::parse("[1, 2").has_value());
+  EXPECT_FALSE(Json::parse("nope").has_value());
+  // A cache row truncated mid-write (the kill-safety case).
+  EXPECT_FALSE(Json::parse(R"({"repeats": 2, "avg_gb)").has_value());
+}
+
+TEST(JsonParse, DepthLimited) {
+  // 80 nested arrays exceeds the parser's depth cap (64): reject, not crash.
+  std::string deep(80, '[');
+  deep += std::string(80, ']');
+  EXPECT_FALSE(Json::parse(deep).has_value());
+  std::string ok(30, '[');
+  ok += std::string(30, ']');
+  EXPECT_TRUE(Json::parse(ok).has_value());
+}
+
 TEST(Table, AsciiLayout) {
   Table t({"name", "value"});
   t.add_row({"x", "1"});

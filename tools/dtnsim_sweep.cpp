@@ -1,0 +1,19 @@
+// dtnsim-sweep: parallel campaign engine CLI (see docs/SWEEP.md).
+//
+// Thin main over sweep::parse_sweep_cli / run_sweep_cli, mirroring the
+// dtnsim-iperf3 split: parsing and execution live in the library where they
+// are unit-tested.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dtnsim/sweep/campaign.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  const auto cli = dtnsim::sweep::parse_sweep_cli(args);
+  std::string output;
+  const int code = dtnsim::sweep::run_sweep_cli(cli, output);
+  std::fputs(output.c_str(), code == 0 ? stdout : stderr);
+  return code;
+}
