@@ -17,7 +17,7 @@ int main() {
   for (const bool balanced : {true, false}) {
     const auto r = Experiment(harness::amlight())
                        .irqbalance(balanced)
-                       .duration_sec(60)
+                       .duration(units::SimTime::from_seconds(60))
                        .repeats(24)
                        .run();
     table.add_row({balanced ? "irqbalance + floating scheduler" : "pinned (0-7 irq, 8-15 app)",

@@ -28,7 +28,7 @@ int main() {
     cfg.receiver = tb.receiver;
     cfg.path = tb.path_named("WAN 63ms");
     cfg.flow.congestion = a;
-    cfg.duration = units::seconds(10);
+    cfg.duration = units::SimTime::from_seconds(10);
     cfg.seed = 11;
     const auto one = flow::run_transfer(cfg);
     double ramp = 0;
@@ -47,7 +47,7 @@ int main() {
                                     .path("WAN 63ms")
                                     .streams(8)
                                     .congestion(a)
-                                    .pacing_gbps(15))
+                                    .pacing(units::Rate::from_gbps(15)))
                            .run();
     multi.add_row({kern::congestion_name(a), gbps_pm(un), count(un.avg_retransmits),
                    gbps_pm(paced), count(paced.avg_retransmits)});

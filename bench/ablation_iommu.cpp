@@ -21,7 +21,7 @@ int main() {
       const auto r = standard(Experiment(tb)
                                   .streams(8)
                                   .zerocopy(zc)
-                                  .pacing_gbps(25)
+                                  .pacing(units::Rate::from_gbps(25))
                                   .iommu_passthrough(pt))
                          .run();
       table.add_row({pt ? "iommu=pt" : "strict (default)",

@@ -36,7 +36,7 @@ inline std::string count(double v) {
 // Standard experiment depth. The paper runs 60 s and >= 10 repeats; the
 // bench default matches, and heavy multi-stream LAN grids may pass lighter
 // values explicitly (noted in their output).
-inline Experiment standard(Experiment e) { return e.duration_sec(60).repeats(10); }
+inline Experiment standard(Experiment e) { return e.duration(units::SimTime::from_seconds(60)).repeats(10); }
 
 // Shared flag parsing for campaign-engine benches: --jobs N (0 = hardware
 // threads) and --cache DIR. Unknown flags are ignored so figure-specific

@@ -24,8 +24,8 @@ int main() {
       auto be = Experiment(bare).path(p);
       auto ve = Experiment(vm).path(p);
       if (zcp) {
-        be.zerocopy().pacing_gbps(50);
-        ve.zerocopy().pacing_gbps(50);
+        be.zerocopy().pacing(units::Rate::from_gbps(50));
+        ve.zerocopy().pacing(units::Rate::from_gbps(50));
       }
       const auto br = standard(std::move(be)).run();
       const auto vr = standard(std::move(ve)).run();

@@ -38,7 +38,7 @@ int main() {
       const auto r = standard(Experiment(tb)
                                   .path(p)
                                   .zerocopy(c.zc)
-                                  .pacing_gbps(c.pace)
+                                  .pacing(units::Rate::from_gbps(c.pace))
                                   .big_tcp(c.big_tcp))
                          .run();
       row.push_back(gbps_pm(r));

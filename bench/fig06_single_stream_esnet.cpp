@@ -31,7 +31,7 @@ int main() {
     std::vector<std::string> row{c.label};
     for (const char* p : {"LAN", "WAN 63ms"}) {
       const auto r =
-          standard(Experiment(tb).path(p).zerocopy(c.zc).pacing_gbps(c.pace)).run();
+          standard(Experiment(tb).path(p).zerocopy(c.zc).pacing(units::Rate::from_gbps(c.pace))).run();
       row.push_back(gbps_pm(r));
       if (std::string(c.label) == "default" && std::string(p) == "WAN 63ms")
         def_wan = r.avg_gbps;

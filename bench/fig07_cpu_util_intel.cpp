@@ -21,7 +21,7 @@ int main() {
   for (const bool zcp : {false, true}) {
     for (const char* p : {"LAN", "WAN 25ms", "WAN 54ms", "WAN 104ms"}) {
       auto e = Experiment(tb).path(p);
-      if (zcp) e.zerocopy().pacing_gbps(50).optmem_max(3405376);
+      if (zcp) e.zerocopy().pacing(units::Rate::from_gbps(50)).optmem_max(units::Bytes(3405376));
       const auto r = standard(std::move(e)).run();
       table.add_row({zcp ? "zc+pacing 50G" : "default", p, gbps(r.avg_gbps),
                      pct(r.snd_cpu_pct), pct(r.rcv_cpu_pct),

@@ -49,8 +49,8 @@ int main(int argc, char** argv) {
       auto ex = standard(Experiment(tb)
                              .path(p)
                              .zerocopy()
-                             .pacing_gbps(50)
-                             .optmem_max(om.bytes));
+                             .pacing(units::Rate::from_gbps(50))
+                             .optmem_max(units::Bytes(om.bytes)));
       if (probe_this) ex.telemetry(true);
       const auto r = ex.run();
       table.add_row({om.label, p, gbps_pm(r), pct(r.snd_cpu_pct),

@@ -20,7 +20,7 @@ int main() {
     for (const char* p : {"LAN", "WAN 63ms"}) {
       const double max_tput = pace > 0 ? std::min(8 * pace, 200.0) : 200.0;
       const auto r =
-          standard(Experiment(tb).path(p).streams(8).zerocopy().pacing_gbps(pace)).run();
+          standard(Experiment(tb).path(p).streams(8).zerocopy().pacing(units::Rate::from_gbps(pace))).run();
       table.add_row({pace > 0 ? strfmt("%.0f G/flow", pace) : "unpaced", p,
                      gbps(max_tput), gbps(r.avg_gbps), strfmt("%.1f", r.stdev_gbps),
                      count(r.avg_retransmits)});

@@ -33,7 +33,7 @@ int main() {
     std::vector<std::string> row{c.label};
     for (const char* p : {"LAN", "WAN 25ms", "WAN 54ms", "WAN 104ms"}) {
       const auto r =
-          standard(Experiment(tb).path(p).streams(8).zerocopy(c.zc).pacing_gbps(c.pace))
+          standard(Experiment(tb).path(p).streams(8).zerocopy(c.zc).pacing(units::Rate::from_gbps(c.pace)))
               .run();
       row.push_back(gbps_pm(r));
     }

@@ -41,7 +41,7 @@ int main() {
                                   .streams(streams)
                                   .zerocopy(c.zc)
                                   .skip_rx_copy(c.skip_rx)
-                                  .pacing_gbps(pace))
+                                  .pacing(units::Rate::from_gbps(pace)))
                          .run();
       table.add_row({strfmt("%d x %.0fG", streams, pace), c.label,
                      gbps(std::min(streams * pace, 400.0)), gbps(r.avg_gbps),

@@ -22,11 +22,11 @@ int main() {
   custom.receiver.kernel = kern::custom_kernel_with_frags(custom.receiver.kernel, 45);
 
   // Show the SKB geometry first — the mechanism the whole experiment hinges on.
-  const auto caps17 = kern::skb_caps(stock.sender.kernel, true, 180.0 * 1024);
-  const auto caps45 = kern::skb_caps(custom.sender.kernel, true, 180.0 * 1024);
+  const auto caps17 = kern::skb_caps(stock.sender.kernel, true, units::Bytes(180.0 * 1024));
+  const auto caps45 = kern::skb_caps(custom.sender.kernel, true, units::Bytes(180.0 * 1024));
   std::printf("Effective zerocopy super-packet: stock %s, frags45 %s\n\n",
-              units::format_bytes(kern::effective_gso_bytes(caps17, true, 9000)).c_str(),
-              units::format_bytes(kern::effective_gso_bytes(caps45, true, 9000)).c_str());
+              units::format_bytes(kern::effective_gso_bytes(caps17, true, units::Bytes(9000))).c_str(),
+              units::format_bytes(kern::effective_gso_bytes(caps45, true, units::Bytes(9000))).c_str());
 
   Table table({"Kernel", "BIG TCP", "Throughput", "TX Cores"});
   double base = 0, best = 0, base_cpu = 0, best_cpu = 0;
@@ -42,7 +42,7 @@ int main() {
     const auto r = standard(Experiment(*row.tb)
                                 .zerocopy()
                                 .skip_rx_copy()
-                                .big_tcp(row.big, 180.0 * 1024))
+                                .big_tcp(row.big, units::Bytes(180.0 * 1024)))
                        .run();
     table.add_row({row.label, row.big ? "180K" : "off", gbps_pm(r), pct(r.snd_cpu_pct)});
     if (!row.big) {

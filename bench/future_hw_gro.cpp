@@ -31,7 +31,7 @@ int main() {
   double base9k = 0, hw9k = 0, base15 = 0, hw15 = 0;
   for (const double mtu : {9000.0, 1500.0}) {
     for (const bool hw : {false, true}) {
-      const auto r = standard(Experiment(tb).mtu(mtu).zerocopy().hw_gro(hw)).run();
+      const auto r = standard(Experiment(tb).mtu(units::Bytes(mtu)).zerocopy().hw_gro(hw)).run();
       table.add_row({strfmt("%.0f", mtu), hw ? "on" : "off", gbps_pm(r),
                      pct(r.rcv_cpu_pct)});
       if (mtu > 2000) (hw ? hw9k : base9k) = r.avg_gbps;

@@ -65,18 +65,19 @@ BENCHMARK(BM_FqEnqueue);
 
 void BM_GsoCounts(benchmark::State& state) {
   const auto caps =
-      kern::skb_caps(kern::kernel_profile(kern::KernelVersion::V6_8), true, 150 * 1024);
+      kern::skb_caps(kern::kernel_profile(kern::KernelVersion::V6_8), true,
+                     units::Bytes::kib(150));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(kern::gso_counts(1e7, caps, false, 9000.0));
+    benchmark::DoNotOptimize(kern::gso_counts(units::Bytes(1e7), caps, false, units::Bytes(9000.0)));
   }
 }
 BENCHMARK(BM_GsoCounts);
 
 void BM_ZcSocketRound(benchmark::State& state) {
-  kern::ZcTxSocket sock(1048576.0);
+  kern::ZcTxSocket sock(units::Bytes(1048576.0));
   for (auto _ : state) {
-    const auto plan = sock.plan_send(500e6, 65536.0);
-    sock.on_acked(500e6);
+    const auto plan = sock.plan_send(units::Bytes(500e6), units::Bytes(65536.0));
+    sock.on_acked(units::Bytes(500e6));
     benchmark::DoNotOptimize(plan.zc_bytes);
   }
 }
@@ -99,7 +100,7 @@ void BM_TransferWan60s(benchmark::State& state) {
   cfg.receiver = tb.receiver;
   cfg.path = tb.path_named("WAN 63ms");
   cfg.streams = static_cast<int>(state.range(0));
-  cfg.duration = units::seconds(60);
+  cfg.duration = units::SimTime::from_seconds(60);
   std::uint64_t seed = 1;
   for (auto _ : state) {
     cfg.seed = seed++;
@@ -118,7 +119,7 @@ void BM_TransferLan60s(benchmark::State& state) {
   cfg.sender = tb.sender;
   cfg.receiver = tb.receiver;
   cfg.path = tb.lan();
-  cfg.duration = units::seconds(60);
+  cfg.duration = units::SimTime::from_seconds(60);
   std::uint64_t seed = 1;
   for (auto _ : state) {
     cfg.seed = seed++;

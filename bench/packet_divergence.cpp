@@ -55,7 +55,7 @@ flow::DivergenceReport run_scenario(const Scenario& sc) {
   fcfg.path = sc.path;
   fcfg.streams = 1;
   fcfg.flow.fq_rate_bps = sc.pacing_bps;
-  fcfg.duration = units::seconds(sc.fluid_seconds);
+  fcfg.duration = units::SimTime::from_seconds(sc.fluid_seconds);
   fcfg.telemetry = &tel;
   if (sc.wmem_max > 0) {
     fcfg.sender.tuning.sysctl.wmem_max = sc.wmem_max;
@@ -70,12 +70,13 @@ flow::DivergenceReport run_scenario(const Scenario& sc) {
   pcfg.path = sc.path;
   pcfg.pacing_bps = sc.pacing_bps;
   pcfg.window_bytes = sc.window_bytes;
-  pcfg.duration = units::seconds(sc.packet_seconds);
+  pcfg.duration = units::SimTime::from_seconds(sc.packet_seconds);
   pcfg.telemetry = &tel;
   flow::run_packet_sim(pcfg);
 
-  return flow::divergence_report(sc.name, tel.registry(), sc.fluid_seconds,
-                                 sc.packet_seconds);
+  return flow::divergence_report(sc.name, tel.registry(),
+                                 units::SimTime::from_seconds(sc.fluid_seconds),
+                                 units::SimTime::from_seconds(sc.packet_seconds));
 }
 
 }  // namespace

@@ -26,7 +26,7 @@ int main() {
   int i = 0;
   for (const double pace : {0.0, 25.0, 20.0, 15.0}) {
     const auto r =
-        standard(Experiment(tb).path("WAN 63ms").streams(8).pacing_gbps(pace)).run();
+        standard(Experiment(tb).path("WAN 63ms").streams(8).pacing(units::Rate::from_gbps(pace))).run();
     table.add_row({pace > 0 ? strfmt("%.0f Gbps / stream", pace) : "unpaced",
                    gbps(r.avg_gbps), count(r.avg_retransmits), strfmt("%.0f", r.min_gbps),
                    strfmt("%.0f", r.max_gbps), strfmt("%.1f", r.stdev_gbps), paper[i++]});

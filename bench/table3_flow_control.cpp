@@ -9,10 +9,16 @@
 // With flow control, pacing reduces retransmits and evens the flows out but
 // does not change average throughput — until it undershoots the path.
 //
-// This bench doubles as the per-flow-telemetry demo: every run arms the
-// interval probe, and the per-flow skew gauges (flow.per_flow_range_bps as a
-// time series) show pacing collapsing the spread *during* the run, not just
-// in the end-of-run Range column. Flags:
+// Ported to the sweep campaign engine: the pacing ladder is one GridSpec
+// axis, cells run on the worker pool (--jobs N), and the grid's telemetry
+// knob arms the interval probe for every cell (telemetry-enabled cells are
+// never cached, so --cache only matters for cache-dir plumbing smokes).
+// Cells come back in grid order: cells[i] is the i-th pacing value.
+//
+// This bench doubles as the per-flow-telemetry demo: the per-flow skew
+// gauges (flow.per_flow_range_bps as a time series) show pacing collapsing
+// the spread *during* the run, not just in the end-of-run Range column.
+// Flags (on top of the shared --jobs/--cache):
 //   --quick              1 repeat x 5 s (CI smoke; shape only)
 //   --probe-interval S   sampling cadence in seconds (default 1)
 //   --metrics-out F      merged per-repeat interval series -> CSV
@@ -38,44 +44,44 @@ int main(int argc, char** argv) {
       probe_interval_sec = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 || std::strcmp(argv[i], "--cache") == 0) {
+      ++i;  // consumed by parse_bench_campaign_flags
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
     }
   }
 
-  const double duration = quick ? 5.0 : 60.0;
-  const int repeats = quick ? 1 : 10;
+  const std::vector<double> pacing = {0.0, 15.0, 12.0, 10.0};
+  sweep::GridSpec grid;
+  grid.name = "table3";
+  grid.testbed = "production";
+  grid.kernels = {kern::KernelVersion::V5_15};
+  grid.paths = {"production 63ms"};
+  grid.streams = {8};
+  grid.pacing_gbps = pacing;
+  grid.duration_sec = quick ? 5.0 : 60.0;
+  grid.repeats = quick ? 1 : 10;
+  grid.telemetry.enabled = true;
+  grid.telemetry.probe_interval = units::seconds(probe_interval_sec);
+
   print_header("Table III", "ESnet production DTNs, with 802.3x flow control (63 ms)",
                strfmt("8 streams, pacing {unpaced, 15, 12, 10} G/flow, %.0f s x %d",
-                      duration, repeats));
+                      grid.duration_sec, grid.repeats));
 
-  obs::TelemetryConfig tcfg;
-  tcfg.enabled = true;
-  tcfg.probe_interval = units::seconds(probe_interval_sec);
+  sweep::CampaignOptions run = parse_bench_campaign_flags(argc, argv);
+  const auto report = sweep::run_campaign(grid, run);
 
-  const auto tb = harness::esnet_production(kern::KernelVersion::V5_15);
   const char* paper[] = {"98 / 29K / 9-16", "98 / 27K / 10-13", "93 / 8K / 11-12",
                          "79 / 1K / 10-10"};
 
   Table table({"Test Config", "Ave Tput", "Retr", "Range", "Skew p50", "paper (tput/retr/range)"});
   std::vector<obs::LabeledSeries> labeled;
-  std::vector<harness::TestResult> results;
-  results.reserve(4);
   std::vector<double> skew_p50;  // median in-run per-flow spread, per config
-  int i = 0;
-  for (const double pace : {0.0, 15.0, 12.0, 10.0}) {
+  for (std::size_t i = 0; i < pacing.size(); ++i) {
+    const double pace = pacing[i];
     const std::string label = pace > 0 ? strfmt("%.0fG/stream", pace) : "unpaced";
-    results.push_back(Experiment(tb)
-                          .path("production 63ms")
-                          .streams(8)
-                          .pacing_gbps(pace)
-                          .duration_sec(duration)
-                          .repeats(repeats)
-                          .telemetry(tcfg)
-                          .label("table3 " + label)
-                          .run());
-    const auto& r = results.back();
+    const auto& r = report.cells[i].result;
 
     // In-run skew: median of the flow.per_flow_range_bps probe series from
     // repeat 0 — pacing should push this down monotonically, live.
@@ -94,14 +100,15 @@ int main(int argc, char** argv) {
     skew_p50.push_back(p50);
 
     for (std::size_t rep = 0; rep < r.repeat_series.size(); ++rep)
-      labeled.push_back({label, static_cast<int>(rep), &results.back().repeat_series[rep]});
+      labeled.push_back({label, static_cast<int>(rep), &report.cells[i].result.repeat_series[rep]});
 
     table.add_row({pace > 0 ? strfmt("%.0f Gbps / stream", pace) : "unpaced",
                    gbps(r.avg_gbps), count(r.avg_retransmits),
                    strfmt("%.0f-%.0f Gbps", r.flow_min_gbps, r.flow_max_gbps),
-                   strfmt("%.1f Gbps", units::to_gbps(p50)), paper[i++]});
+                   strfmt("%.1f Gbps", units::to_gbps(p50)), paper[i]});
   }
   std::printf("%s\n", table.to_ascii().c_str());
+  std::printf("%s\n", campaign_summary(report).c_str());
 
   if (!metrics_out.empty()) {
     if (!obs::write_merged_series_csv(metrics_out, labeled)) {

@@ -15,9 +15,9 @@ using namespace dtnsim;
 namespace {
 
 double measure(const harness::Testbed& tb, bool zerocopy, double pace_gbps) {
-  auto e = Experiment(tb).path("WAN 63ms").duration_sec(30).repeats(5);
+  auto e = Experiment(tb).path("WAN 63ms").duration(units::SimTime::from_seconds(30)).repeats(5);
   if (zerocopy) e.zerocopy();
-  if (pace_gbps > 0) e.pacing_gbps(pace_gbps);
+  if (pace_gbps > 0) e.pacing(units::Rate::from_gbps(pace_gbps));
   return e.run().avg_gbps;
 }
 
@@ -75,8 +75,8 @@ int main() {
 
   std::printf("Advisor pacing suggestions (paper §V-B):\n");
   std::printf("  100G DTN feeding 10G clients : %.0f Gbps/flow\n",
-              recommended_pacing_gbps(100, 10));
+              recommended_pacing(units::Rate::from_gbps(100), units::Rate::from_gbps(10)).gbps());
   std::printf("  100G DTN to 100G DTNs        : %.0f Gbps/flow\n",
-              recommended_pacing_gbps(100, 100));
+              recommended_pacing(units::Rate::from_gbps(100), units::Rate::from_gbps(100)).gbps());
   return 0;
 }

@@ -21,14 +21,14 @@ void study(const char* title, bool esnet) {
   for (const auto k : {kern::KernelVersion::V5_15, kern::KernelVersion::V6_5,
                        kern::KernelVersion::V6_8}) {
     const auto tb = esnet ? harness::esnet(k) : harness::amlight(k);
-    const auto lan = Experiment(tb).duration_sec(20).repeats(4).run();
-    const auto one = Experiment(tb).path(wan).duration_sec(20).repeats(4).run();
+    const auto lan = Experiment(tb).duration(units::SimTime::from_seconds(20)).repeats(4).run();
+    const auto one = Experiment(tb).path(wan).duration(units::SimTime::from_seconds(20)).repeats(4).run();
     const auto many = Experiment(tb)
                           .path(wan)
                           .streams(8)
                           .zerocopy()
-                          .pacing_gbps(pace)
-                          .duration_sec(20)
+                          .pacing(units::Rate::from_gbps(pace))
+                          .duration(units::SimTime::from_seconds(20))
                           .repeats(4)
                           .run();
     table.add_row({kern::kernel_version_name(k), strfmt("%.1f Gbps", lan.avg_gbps),

@@ -30,8 +30,8 @@ int main() {
                          .path("production 63ms")
                          .streams(flows)
                          .zerocopy()
-                         .pacing_gbps(pace)
-                         .duration_sec(30)
+                         .pacing(units::Rate::from_gbps(pace))
+                         .duration(units::SimTime::from_seconds(30))
                          .repeats(5)
                          .run();
       grid.add_row({strfmt("%d", flows), strfmt("%.0fG", pace),

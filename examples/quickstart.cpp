@@ -32,10 +32,10 @@ int main() {
     auto result = Experiment(tb)
                       .path("WAN 104ms")
                       .zerocopy(c.zerocopy)
-                      .pacing_gbps(c.pace_gbps)
+                      .pacing(units::Rate::from_gbps(c.pace_gbps))
                       .big_tcp(c.big_tcp)
                       .repeats(5)
-                      .duration_sec(20)
+                      .duration(units::SimTime::from_seconds(20))
                       .run();
     table.add_row({c.label, strfmt("%.1f Gbps", result.avg_gbps),
                    strfmt("%.1f", result.stdev_gbps),

@@ -57,7 +57,7 @@ IperfReport IperfTool::run(const host::HostConfig& client, const host::HostConfi
   cfg.flow.fq_rate_bps = eff.fq_rate_bps;
   cfg.flow.congestion = opts.congestion;
   cfg.link_flow_control = link_flow_control;
-  cfg.duration = units::seconds(opts.duration_sec);
+  cfg.duration = units::SimTime::from_seconds(opts.duration_sec);
   cfg.seed = seed;
 
   const flow::TransferResult res = flow::run_transfer(cfg);

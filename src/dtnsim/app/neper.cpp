@@ -19,7 +19,7 @@ NeperReport NeperTool::run(const host::HostConfig& local, const host::HostConfig
   cfg.flow.fq_rate_bps = opts.max_pacing_rate_bps;
   cfg.flow.congestion = opts.congestion;
   cfg.link_flow_control = link_flow_control;
-  cfg.duration = units::seconds(opts.warmup_sec + opts.test_length_sec);
+  cfg.duration = units::SimTime::from_seconds(opts.warmup_sec + opts.test_length_sec);
   cfg.seed = seed;
 
   const auto res = flow::run_transfer(cfg);

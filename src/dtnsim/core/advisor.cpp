@@ -132,10 +132,13 @@ Advice advise(const host::HostConfig& host, const net::PathSpec& path, UseCase u
   return a;
 }
 
-double recommended_pacing_gbps(double nic_gbps, double client_gbps) {
-  if (client_gbps <= 10.0) return 1.0;       // 100G DTN feeding 10G clients
-  if (client_gbps < nic_gbps) return 5.0;    // mixed estate: stay conservative
-  return std::min(8.0, nic_gbps / 12.0);     // 100G<->100G: 5-8 Gbps per flow
+units::Rate recommended_pacing(units::Rate nic, units::Rate client) {
+  const double nic_gbps = nic.gbps();
+  const double client_gbps = client.gbps();
+  if (client_gbps <= 10.0) return units::Rate::from_gbps(1.0);  // 100G DTN, 10G clients
+  if (client_gbps < nic_gbps) return units::Rate::from_gbps(5.0);  // mixed estate
+  // 100G<->100G: 5-8 Gbps per flow
+  return units::Rate::from_gbps(std::min(8.0, nic_gbps / 12.0));
 }
 
 }  // namespace dtnsim

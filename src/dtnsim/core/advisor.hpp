@@ -10,6 +10,7 @@
 
 #include "dtnsim/host/host.hpp"
 #include "dtnsim/net/path.hpp"
+#include "dtnsim/units/units.hpp"
 
 namespace dtnsim {
 
@@ -37,9 +38,9 @@ struct Advice {
 Advice advise(const host::HostConfig& host, const net::PathSpec& path, UseCase use_case,
               bool link_flow_control);
 
-// Per-flow pacing the paper would suggest for a DTN serving `client_gbps`
-// clients over an `nic_gbps` NIC (§V-B: 1 Gbps for 10G clients, 5-8 Gbps
-// between 100G hosts).
-double recommended_pacing_gbps(double nic_gbps, double client_gbps);
+// Per-flow pacing the paper would suggest for a DTN serving clients at
+// `client` speed over a NIC of `nic` speed (§V-B: 1 Gbps for 10G clients,
+// 5-8 Gbps between 100G hosts).
+units::Rate recommended_pacing(units::Rate nic, units::Rate client);
 
 }  // namespace dtnsim

@@ -8,7 +8,7 @@
 //   auto result = dtnsim::Experiment(tb)
 //                     .path("WAN 104ms")
 //                     .zerocopy(true)
-//                     .pacing_gbps(50)
+//                     .pacing(units::Rate::from_gbps(50))
 //                     .repeats(10)
 //                     .run();
 //   std::cout << result.avg_gbps << " Gbps\n";

@@ -25,8 +25,8 @@ Experiment& Experiment::skip_rx_copy(bool on) {
   return *this;
 }
 
-Experiment& Experiment::pacing_gbps(double gbps) {
-  iperf_.fq_rate_bps = units::gbps(gbps);
+Experiment& Experiment::pacing(units::Rate rate) {
+  iperf_.fq_rate_bps = rate.bps();
   return *this;
 }
 
@@ -41,16 +41,16 @@ Experiment& Experiment::kernel(kern::KernelVersion version) {
   return *this;
 }
 
-Experiment& Experiment::optmem_max(double bytes) {
-  testbed_.sender.tuning.sysctl.optmem_max = bytes;
-  testbed_.receiver.tuning.sysctl.optmem_max = bytes;
+Experiment& Experiment::optmem_max(units::Bytes limit) {
+  testbed_.sender.tuning.sysctl.optmem_max = limit.value();
+  testbed_.receiver.tuning.sysctl.optmem_max = limit.value();
   return *this;
 }
 
-Experiment& Experiment::big_tcp(bool on, double size_bytes) {
+Experiment& Experiment::big_tcp(bool on, units::Bytes size) {
   for (auto* h : {&testbed_.sender, &testbed_.receiver}) {
     h->tuning.big_tcp_enabled = on;
-    h->tuning.big_tcp_bytes = size_bytes;
+    h->tuning.big_tcp_bytes = size.value();
   }
   return *this;
 }
@@ -60,9 +60,9 @@ Experiment& Experiment::hw_gro(bool on) {
   return *this;
 }
 
-Experiment& Experiment::mtu(double bytes) {
-  testbed_.sender.tuning.mtu_bytes = bytes;
-  testbed_.receiver.tuning.mtu_bytes = bytes;
+Experiment& Experiment::mtu(units::Bytes bytes) {
+  testbed_.sender.tuning.mtu_bytes = bytes.value();
+  testbed_.receiver.tuning.mtu_bytes = bytes.value();
   return *this;
 }
 
@@ -89,8 +89,8 @@ Experiment& Experiment::flow_control(bool on) {
   return *this;
 }
 
-Experiment& Experiment::duration_sec(double seconds) {
-  iperf_.duration_sec = seconds;
+Experiment& Experiment::duration(units::SimTime length) {
+  iperf_.duration_sec = length.seconds();
   return *this;
 }
 

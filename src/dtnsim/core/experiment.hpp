@@ -4,6 +4,7 @@
 #include <string>
 
 #include "dtnsim/harness/runner.hpp"
+#include "dtnsim/units/units.hpp"
 
 namespace dtnsim {
 
@@ -15,19 +16,19 @@ class Experiment {
   Experiment& streams(int n);
   Experiment& zerocopy(bool on = true);
   Experiment& skip_rx_copy(bool on = true);
-  // Per-stream pacing; 0 disables.
-  Experiment& pacing_gbps(double gbps);
+  // Per-stream fq pacing rate; a zero rate disables pacing.
+  Experiment& pacing(units::Rate rate);
   Experiment& congestion(kern::CongestionAlgo algo);
   Experiment& kernel(kern::KernelVersion version);
-  Experiment& optmem_max(double bytes);
-  Experiment& big_tcp(bool on, double size_bytes = 150.0 * 1024.0);
+  Experiment& optmem_max(units::Bytes limit);
+  Experiment& big_tcp(bool on, units::Bytes size = units::Bytes::kib(150));
   Experiment& hw_gro(bool on = true);
-  Experiment& mtu(double bytes);
+  Experiment& mtu(units::Bytes bytes);
   Experiment& ring(int descriptors);
   Experiment& iommu_passthrough(bool on);
   Experiment& irqbalance(bool enabled);
   Experiment& flow_control(bool on);
-  Experiment& duration_sec(double seconds);
+  Experiment& duration(units::SimTime length);
   Experiment& repeats(int n);
   Experiment& seed(std::uint64_t seed);
   Experiment& label(std::string name);

@@ -4,23 +4,23 @@
 
 namespace dtnsim::cpu {
 
-void CoreBudget::reset(double capacity_cycles) {
-  capacity_ = std::max(capacity_cycles, 0.0);
+void CoreBudget::reset(units::Cycles capacity) {
+  capacity_ = std::max(capacity.value(), 0.0);
   used_ = 0.0;
 }
 
-double CoreBudget::consume(double cycles) {
-  const double granted = std::min(std::max(cycles, 0.0), remaining());
+double CoreBudget::consume(units::Cycles cycles) {
+  const double granted = std::min(std::max(cycles.value(), 0.0), remaining());
   used_ += granted;
   return granted;
 }
 
-void CoreBudget::charge(double cycles) {
-  used_ = std::min(capacity_, used_ + std::max(cycles, 0.0));
+void CoreBudget::charge(units::Cycles cycles) {
+  used_ = std::min(capacity_, used_ + std::max(cycles.value(), 0.0));
 }
 
 void CorePool::begin_tick(double dt_sec) {
-  budget_.reset(static_cast<double>(cores_) * hz_ * dt_sec);
+  budget_.reset(units::Cycles(static_cast<double>(cores_) * hz_ * dt_sec));
 }
 
 }  // namespace dtnsim::cpu

@@ -15,7 +15,7 @@ namespace dtnsim::cpu {
 
 class CoreBudget {
  public:
-  void reset(double capacity_cycles);
+  void reset(units::Cycles capacity);
 
   double capacity() const { return capacity_; }
   double used() const { return used_; }
@@ -24,9 +24,9 @@ class CoreBudget {
   double utilization() const { return capacity_ > 0 ? used_ / capacity_ : 0.0; }
 
   // Consume up to `cycles`; returns what was actually granted.
-  double consume(double cycles);
+  double consume(units::Cycles cycles);
   // Consume assuming capacity was checked; clamps silently.
-  void charge(double cycles);
+  void charge(units::Cycles cycles);
 
  private:
   double capacity_ = 0.0;
@@ -45,7 +45,7 @@ class CorePool {
   double hz() const { return hz_; }
   double capacity() const { return budget_.capacity(); }
   double remaining() const { return budget_.remaining(); }
-  double consume(double cycles) { return budget_.consume(cycles); }
+  double consume(units::Cycles cycles) { return budget_.consume(cycles); }
   // Average utilization across the pool's cores, [0, 1].
   double utilization() const { return budget_.utilization(); }
 

@@ -47,7 +47,10 @@ std::string DivergenceReport::to_string() const {
 
 DivergenceReport divergence_report(const std::string& scenario,
                                    const obs::Registry& reg,
-                                   double fluid_seconds, double packet_seconds) {
+                                   units::SimTime fluid_horizon,
+                                   units::SimTime packet_horizon) {
+  const double fluid_seconds = fluid_horizon.seconds();
+  const double packet_seconds = packet_horizon.seconds();
   DivergenceReport rep;
   rep.scenario = scenario;
 

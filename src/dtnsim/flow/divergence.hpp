@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dtnsim/obs/metrics.hpp"
+#include "dtnsim/units/units.hpp"
 
 namespace dtnsim::flow {
 
@@ -42,9 +43,10 @@ struct DivergenceReport {
 // Build the report from a registry that saw a fluid run (flow.*, nic.*,
 // path.* families) followed by a packet run (pkt.*) of the same scenario.
 // The horizons differ by design, so rates are normalized per engine:
-// `fluid_seconds` and `packet_seconds` are each engine's simulated duration.
+// `fluid_horizon` and `packet_horizon` are each engine's simulated duration.
 DivergenceReport divergence_report(const std::string& scenario,
                                    const obs::Registry& registry,
-                                   double fluid_seconds, double packet_seconds);
+                                   units::SimTime fluid_horizon,
+                                   units::SimTime packet_horizon);
 
 }  // namespace dtnsim::flow

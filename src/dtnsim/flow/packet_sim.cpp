@@ -130,7 +130,7 @@ void deliver_aggregate(SimState& s, double agg) {
 void napi_poll(SimState& s) {
   if (s.napi_busy) return;
   if (s.ring_used <= 0) {
-    if (auto tail = s.gro->flush()) deliver_aggregate(s, *tail);  // NAPI exit
+    if (auto tail = s.gro->flush()) deliver_aggregate(s, tail->value());  // NAPI exit
     return;
   }
   s.napi_busy = true;
@@ -143,7 +143,8 @@ void napi_poll(SimState& s) {
   }
   s.engine.schedule(spent, [&s, take] {
     for (int i = 0; i < take; ++i) {
-      if (auto agg = s.gro->add_segment(s.seg_payload)) deliver_aggregate(s, *agg);
+      if (auto agg = s.gro->add_segment(units::Bytes(s.seg_payload)))
+        deliver_aggregate(s, agg->value());
     }
     s.ring_used -= take;
     s.napi_busy = false;
@@ -184,7 +185,7 @@ void on_arrival(SimState& s, int segments) {
 
 void try_send(SimState& s) {
   while (s.inflight + s.gso_bytes <= s.cfg->window_bytes) {
-    if (s.engine.now() >= s.cfg->duration) return;
+    if (s.engine.now() >= s.cfg->duration.nanos()) return;
     // Sender core serializes super-packet preparation.
     const Nanos ready = std::max(s.engine.now(), s.tx_free_at);
     if (ready > s.engine.now()) {
@@ -239,7 +240,7 @@ PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
   const auto rcv_caps = receiver.skb_caps();
   const double mtu = std::min(cfg.sender.tuning.mtu_bytes, cfg.receiver.tuning.mtu_bytes);
 
-  s.gso_bytes = kern::effective_gso_bytes(snd_caps, cfg.zerocopy, mtu);
+  s.gso_bytes = kern::effective_gso_bytes(snd_caps, cfg.zerocopy, units::Bytes(mtu)).value();
   s.mss = std::max(mtu - 40.0, 536.0);
   s.seg_payload = s.gso_bytes / std::ceil(s.gso_bytes / s.mss);
   s.half_rtt = cfg.path.rtt / 2;
@@ -256,7 +257,7 @@ PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
   s.tx_prep_ns = static_cast<Nanos>(snd_cost.tx_app_cyc_per_byte(txc) * s.gso_bytes /
                                     sender.app_core_hz() * 1e9);
   cpu::RxPathConfig rxc;
-  rxc.gro_bytes = kern::effective_gro_bytes(rcv_caps, mtu);
+  rxc.gro_bytes = kern::effective_gro_bytes(rcv_caps, units::Bytes(mtu)).value();
   rxc.mtu_bytes = mtu;
   if (cfg.rx_segment_ns_override > 0) {
     s.rx_segment_ns = static_cast<Nanos>(cfg.rx_segment_ns_override);
@@ -271,15 +272,15 @@ PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
     qdisc.set_flow_rate(1, cfg.pacing_bps);
   }
   s.qdisc = &qdisc;
-  kern::GroEngine gro(rcv_caps, mtu);
+  kern::GroEngine gro(rcv_caps, units::Bytes(mtu));
   s.gro = &gro;
 
-  const Nanos horizon = cfg.duration + cfg.path.rtt * 2;
+  const Nanos horizon = cfg.duration.nanos() + cfg.path.rtt * 2;
   if (cfg.telemetry && cfg.telemetry->config().enabled) {
     s.tel = cfg.telemetry;
     setup_instruments(s);
     s.tel->trace().begin("packet_run", "pkt", 0, 0,
-                         {{"duration_ms", units::to_seconds(cfg.duration) * 1e3},
+                         {{"duration_ms", cfg.duration.seconds() * 1e3},
                           {"pacing_bps", cfg.pacing_bps},
                           {"window_bytes", cfg.window_bytes}});
     s.tel->probe().arm(s.engine, horizon, [&s](Nanos now) {
@@ -295,7 +296,7 @@ PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
 
   if (s.tel) {
     s.pkt.goodput->set(
-        units::rate_of(s.res.delivered_bytes, units::to_seconds(cfg.duration)));
+        units::rate_of(s.res.delivered_bytes, cfg.duration.seconds()));
     s.tel->trace().end("packet_run", "pkt", s.engine.now());
     // Closing sample: the default 1 s cadence never fires inside a 50 ms
     // horizon, and a shared probe table must still pick up the pkt.* columns.
@@ -303,7 +304,7 @@ PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
   }
 
   s.res.achieved_bps =
-      units::rate_of(s.res.delivered_bytes, units::to_seconds(cfg.duration));
+      units::rate_of(s.res.delivered_bytes, cfg.duration.seconds());
   s.res.mean_aggregate_bytes =
       s.res.aggregates > 0 ? s.aggregate_bytes_total / static_cast<double>(s.res.aggregates)
                            : 0.0;

@@ -31,7 +31,7 @@ struct PacketSimConfig {
   double pacing_bps = 0.0;      // 0 = unpaced (line-rate trains)
   bool zerocopy = false;
   double window_bytes = 8e6;    // fixed window; no congestion control here
-  Nanos duration = units::millis(50);
+  units::SimTime duration = units::SimTime::from_millis(50);
   int napi_budget = 64;         // segments per NAPI poll
   // Receiver per-segment processing time floor; derived from the cost model
   // unless overridden (> 0).

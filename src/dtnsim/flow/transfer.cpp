@@ -49,7 +49,7 @@ TransferSimulation::TransferSimulation(TransferConfig cfg)
       n > 1 ? (cfg_.flow.fq_rate_bps > 0.0 ? 0.06 : 0.16) : 0.0;
   for (auto& f : flows_) {
     f.cc = tcp::make_congestion_control(cfg_.flow.congestion, mss());
-    f.zc_socket = kern::ZcTxSocket(cfg_.sender.tuning.sysctl.optmem_max);
+    f.zc_socket = kern::ZcTxSocket(units::Bytes(cfg_.sender.tuning.sysctl.optmem_max));
     f.static_bias = bias_sigma > 0 ? rng_.lognormal(1.0, bias_sigma) : 1.0;
   }
 }
@@ -151,7 +151,7 @@ void TransferSimulation::setup_telemetry(sim::Engine& engine) {
   in.flow0_slow_start = flows_[0].cc->in_slow_start();
 
   tel_->trace().begin("transfer", "run", engine.now());
-  tel_->probe().arm(engine, cfg_.duration);
+  tel_->probe().arm(engine, cfg_.duration.nanos());
 }
 
 TransferResult TransferSimulation::run() {
@@ -164,7 +164,7 @@ TransferResult TransferSimulation::run() {
   log::ScopedTimeSource clock([&engine] { return engine.now(); });
   log::info("transfer start: %s, %zu flow(s), rtt %.3fs, %.0fs run%s%s",
             path_.spec().name.c_str(), flows_.size(), path_.spec().rtt_sec(),
-            units::to_seconds(cfg_.duration),
+            cfg_.duration.seconds(),
             cfg_.flow.zerocopy ? ", zerocopy" : "",
             cfg_.flow.fq_rate_bps > 0 ? ", paced" : "");
 
@@ -172,7 +172,7 @@ TransferResult TransferSimulation::run() {
   std::function<void()> round = [&] {
     const double now_sec = units::to_seconds(engine.now());
     tick(dt, now_sec);
-    if (engine.now() + tick_ns <= cfg_.duration) {
+    if (engine.now() + tick_ns <= cfg_.duration.nanos()) {
       engine.schedule(tick_ns, round);
     }
   };
@@ -183,7 +183,7 @@ TransferResult TransferSimulation::run() {
   if (tel_) tel_->trace().end("transfer", "run", engine.now());
   log::info("transfer done: %.2f Gbps delivered, %.0f segments retransmitted",
             units::to_gbps(units::rate_of(total_delivered_,
-                                          units::to_seconds(cfg_.duration))),
+                                          cfg_.duration.seconds())),
             total_retx_);
   engine_ = nullptr;
 
@@ -195,7 +195,7 @@ TransferResult TransferSimulation::run() {
   }
 
   TransferResult res;
-  res.duration_sec = units::to_seconds(cfg_.duration);
+  res.duration_sec = cfg_.duration.seconds();
   res.throughput_bps = units::rate_of(total_delivered_, res.duration_sec);
   for (const auto& f : flows_) {
     res.per_flow_bps.push_back(units::rate_of(f.delivered_bytes, res.duration_sec));
@@ -235,8 +235,9 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
   const auto rcv_caps = receiver_.skb_caps();
   const double mtu =
       std::min(cfg_.sender.tuning.mtu_bytes, cfg_.receiver.tuning.mtu_bytes);
-  const double gso = kern::effective_gso_bytes(snd_caps, zc_req, mtu);
-  const double gro = kern::effective_gro_bytes(rcv_caps, mtu);
+  const double gso =
+      kern::effective_gso_bytes(snd_caps, zc_req, units::Bytes(mtu)).value();
+  const double gro = kern::effective_gro_bytes(rcv_caps, units::Bytes(mtu)).value();
 
   const double snd_wnd_max = cfg_.sender.tuning.sysctl.max_send_window_bytes();
   const double rcv_wnd_max = cfg_.receiver.tuning.sysctl.max_recv_window_bytes();
@@ -273,7 +274,7 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
     // Zerocopy split (preview only; commitment happens after global caps).
     double zc_frac = 0.0, fb_frac = 0.0;
     if (zc_req && desired > 0) {
-      const auto plan = f.zc_socket.preview_send(desired, gso);
+      const auto plan = f.zc_socket.preview_send(units::Bytes(desired), units::Bytes(gso));
       zc_frac = (plan.zc_bytes + plan.fallback_bytes) / desired;
       fb_frac = plan.fallback_bytes / desired;
     }
@@ -326,7 +327,7 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
   for (auto& f : flows_) {
     f.sent_bytes = f.planned_bytes * s;
     if (zc_req && f.sent_bytes > 0) {
-      const auto plan = f.zc_socket.plan_send(f.sent_bytes, gso);
+      const auto plan = f.zc_socket.plan_send(units::Bytes(f.sent_bytes), units::Bytes(gso));
       f.zc_planned = plan.zc_bytes;
       f.fb_planned = plan.fallback_bytes;
     } else {
@@ -391,7 +392,8 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
 
   // ---- Path transit (aggregate) ------------------------------------------
   const double smoothness = !paced_traffic ? 1.0 : (zc_req ? 1.25 : 1.08);
-  const auto transit = path_.transit(group_sent, dt_sec, paced_traffic, smoothness, rng_);
+  const auto transit =
+      path_.transit(units::Bytes(group_sent), dt_sec, paced_traffic, smoothness, rng_);
   dropped_path_ += transit.dropped_bytes;
   const double path_trim_frac =
       group_sent > 0 ? (group_sent - transit.delivered_bytes) / group_sent : 0.0;
@@ -615,7 +617,7 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
           fq_rate > 0.0 && !f.cc->self_paced() &&
           f.cc->cwnd_bytes() > 2.0 * fq_rate * rtt / 8.0;
       if (!cwnd_validated) f.cc->on_ack(now_sec, acked, rtt);
-      f.zc_socket.on_acked(acked);
+      f.zc_socket.on_acked(units::Bytes(acked));
       f.rtt.add_sample(rtt);
     }
     f.inflight_bytes = 0.0;  // round model: everything resolves within a tick

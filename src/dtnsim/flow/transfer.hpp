@@ -43,7 +43,7 @@ struct TransferConfig {
   int streams = 1;                     // iperf3 -P
   FlowOptions flow;
   bool link_flow_control = false;      // IEEE 802.3x on the receiver's link
-  Nanos duration = units::seconds(60);
+  units::SimTime duration = units::SimTime::from_seconds(60);
   std::uint64_t seed = 1;
   // Optional, non-owning observability sink. When set, the run registers
   // its metrics there, arms the interval probe on the engine, and records
@@ -84,7 +84,7 @@ class TransferSimulation {
  private:
   struct FlowState {
     std::unique_ptr<tcp::CongestionControl> cc;
-    kern::ZcTxSocket zc_socket{0.0};
+    kern::ZcTxSocket zc_socket{units::Bytes(0.0)};
     tcp::RttEstimator rtt;
     double inflight_bytes = 0.0;
     double rcv_backlog_bytes = 0.0;

@@ -37,7 +37,7 @@ TestResult run_test(const TestSpec& spec) {
   cfg.flow.fq_rate_bps = spec.iperf.fq_rate_bps;
   cfg.flow.congestion = spec.iperf.congestion;
   cfg.link_flow_control = spec.link_flow_control;
-  cfg.duration = units::seconds(spec.iperf.duration_sec);
+  cfg.duration = units::SimTime::from_seconds(spec.iperf.duration_sec);
 
   for (int r = 0; r < out.repeats; ++r) {
     cfg.seed = seeder.substream(static_cast<unsigned>(r)).next();

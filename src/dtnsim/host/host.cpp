@@ -11,7 +11,7 @@ double Host::app_core_hz() const {
 }
 
 kern::SkbCaps Host::skb_caps() const {
-  return kern::skb_caps(cfg_.kernel, big_tcp_active(), cfg_.tuning.big_tcp_bytes);
+  return kern::skb_caps(cfg_.kernel, big_tcp_active(), units::Bytes(cfg_.tuning.big_tcp_bytes));
 }
 
 cpu::Placement Host::sample_placement(int streams, Rng& rng) const {

@@ -4,30 +4,30 @@
 
 namespace dtnsim::kern {
 
-GroCounts gro_counts(double bytes, const SkbCaps& caps, double mtu_bytes) {
+GroCounts gro_counts(units::Bytes payload, const SkbCaps& caps, units::Bytes mtu) {
   GroCounts out;
-  if (bytes <= 0) return out;
-  out.gro_bytes = effective_gro_bytes(caps, mtu_bytes);
-  out.aggregates = bytes / out.gro_bytes;
+  if (payload.value() <= 0) return out;
+  out.gro_bytes = effective_gro_bytes(caps, mtu).value();
+  out.aggregates = payload.value() / out.gro_bytes;
   return out;
 }
 
-GroEngine::GroEngine(const SkbCaps& caps, double mtu_bytes)
-    : gro_bytes_(effective_gro_bytes(caps, mtu_bytes)) {}
+GroEngine::GroEngine(const SkbCaps& caps, units::Bytes mtu)
+    : gro_bytes_(effective_gro_bytes(caps, mtu).value()) {}
 
-std::optional<double> GroEngine::add_segment(double seg_bytes) {
-  pending_ += std::max(seg_bytes, 0.0);
+std::optional<units::Bytes> GroEngine::add_segment(units::Bytes segment) {
+  pending_ += std::max(segment.value(), 0.0);
   if (pending_ >= gro_bytes_) {
-    const double out = pending_;
+    const units::Bytes out{pending_};
     pending_ = 0.0;
     return out;
   }
   return std::nullopt;
 }
 
-std::optional<double> GroEngine::flush() {
+std::optional<units::Bytes> GroEngine::flush() {
   if (pending_ <= 0.0) return std::nullopt;
-  const double out = pending_;
+  const units::Bytes out{pending_};
   pending_ = 0.0;
   return out;
 }

@@ -20,18 +20,18 @@ struct GroCounts {
 };
 
 // Fluid counts for pricing receive work.
-GroCounts gro_counts(double bytes, const SkbCaps& caps, double mtu_bytes);
+GroCounts gro_counts(units::Bytes payload, const SkbCaps& caps, units::Bytes mtu);
 
 // Packet-level aggregator for tests: feed wire segments, harvest aggregates.
 class GroEngine {
  public:
-  GroEngine(const SkbCaps& caps, double mtu_bytes);
+  GroEngine(const SkbCaps& caps, units::Bytes mtu);
 
   // Add one wire segment; returns a completed aggregate when the pending one
   // reaches gro_max (out-of-order or flow changes are flushed by caller).
-  std::optional<double> add_segment(double seg_bytes);
+  std::optional<units::Bytes> add_segment(units::Bytes segment);
   // NAPI flush: whatever is pending becomes an aggregate.
-  std::optional<double> flush();
+  std::optional<units::Bytes> flush();
 
   double pending_bytes() const { return pending_; }
   double gro_bytes() const { return gro_bytes_; }

@@ -5,22 +5,25 @@
 
 namespace dtnsim::kern {
 
-GsoCounts gso_counts(double bytes, const SkbCaps& caps, bool zerocopy, double mtu_bytes) {
+GsoCounts gso_counts(units::Bytes payload, const SkbCaps& caps, bool zerocopy,
+                     units::Bytes mtu) {
   GsoCounts out;
+  const double bytes = payload.value();
   if (bytes <= 0) return out;
-  out.gso_bytes = effective_gso_bytes(caps, zerocopy, mtu_bytes);
+  out.gso_bytes = effective_gso_bytes(caps, zerocopy, mtu).value();
   out.superpackets = bytes / out.gso_bytes;
   // TCP payload per wire segment: MTU minus IPv4+TCP headers (40 bytes,
   // timestamps ignored at this granularity).
-  const double mss = std::max(mtu_bytes - 40.0, 1.0);
+  const double mss = std::max(mtu.value() - 40.0, 1.0);
   out.wire_segments = bytes / mss;
   return out;
 }
 
-std::vector<double> gso_segment(double bytes, const SkbCaps& caps, bool zerocopy,
-                                double mtu_bytes) {
+std::vector<double> gso_segment(units::Bytes payload, const SkbCaps& caps, bool zerocopy,
+                                units::Bytes mtu) {
   std::vector<double> skbs;
-  const double gso = effective_gso_bytes(caps, zerocopy, mtu_bytes);
+  const double gso = effective_gso_bytes(caps, zerocopy, mtu).value();
+  double bytes = payload.value();
   while (bytes > 0) {
     const double take = std::min(bytes, gso);
     skbs.push_back(take);

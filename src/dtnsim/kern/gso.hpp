@@ -19,10 +19,10 @@ struct GsoCounts {
 };
 
 // Fractional counts for fluid-rate math.
-GsoCounts gso_counts(double bytes, const SkbCaps& caps, bool zerocopy, double mtu_bytes);
+GsoCounts gso_counts(units::Bytes payload, const SkbCaps& caps, bool zerocopy, units::Bytes mtu);
 
 // Explicit segmentation for packet-level tests: returns per-SKB payloads.
-std::vector<double> gso_segment(double bytes, const SkbCaps& caps, bool zerocopy,
-                                double mtu_bytes);
+std::vector<double> gso_segment(units::Bytes payload, const SkbCaps& caps, bool zerocopy,
+                                units::Bytes mtu);
 
 }  // namespace dtnsim::kern

@@ -5,32 +5,32 @@
 
 namespace dtnsim::kern {
 
-SkbCaps skb_caps(const KernelProfile& kernel, bool big_tcp_enabled, double big_tcp_size) {
+SkbCaps skb_caps(const KernelProfile& kernel, bool big_tcp_enabled, units::Bytes big_tcp_size) {
   SkbCaps caps;
   caps.max_skb_frags = kernel.max_skb_frags;
   if (big_tcp_enabled && kernel.supports_big_tcp_ipv4) {
-    caps.gso_max_bytes = std::clamp(big_tcp_size, kLegacyGsoMax, kBigTcpGsoMaxIpv4);
+    caps.gso_max_bytes = std::clamp(big_tcp_size.value(), kLegacyGsoMax, kBigTcpGsoMaxIpv4);
     caps.gro_max_bytes = caps.gso_max_bytes;
   }
   return caps;
 }
 
-double effective_gso_bytes(const SkbCaps& caps, bool zerocopy, double mtu_bytes) {
+units::Bytes effective_gso_bytes(const SkbCaps& caps, bool zerocopy, units::Bytes mtu) {
   const double frag_unit = zerocopy ? kPageBytes : kCopyFragBytes;
   // One frag slot stays reserved for the protocol header page.
   const double frag_limited = std::max(caps.max_skb_frags - 1, 1) * frag_unit;
-  return std::max(std::min(caps.gso_max_bytes, frag_limited), mtu_bytes);
+  return units::Bytes(std::max(std::min(caps.gso_max_bytes, frag_limited), mtu.value()));
 }
 
-double effective_gro_bytes(const SkbCaps& caps, double mtu_bytes) {
+units::Bytes effective_gro_bytes(const SkbCaps& caps, units::Bytes mtu) {
   const double frag_limited = std::max(caps.max_skb_frags - 1, 1) * kCopyFragBytes;
-  return std::max(std::min(caps.gro_max_bytes, frag_limited), mtu_bytes);
+  return units::Bytes(std::max(std::min(caps.gro_max_bytes, frag_limited), mtu.value()));
 }
 
-int skbs_for_send(double bytes, const SkbCaps& caps, bool zerocopy, double mtu_bytes) {
-  if (bytes <= 0) return 0;
-  const double gso = effective_gso_bytes(caps, zerocopy, mtu_bytes);
-  return static_cast<int>(std::ceil(bytes / gso));
+int skbs_for_send(units::Bytes payload, const SkbCaps& caps, bool zerocopy, units::Bytes mtu) {
+  if (payload.value() <= 0) return 0;
+  const units::Bytes gso = effective_gso_bytes(caps, zerocopy, mtu);
+  return static_cast<int>(std::ceil(payload / gso));
 }
 
 }  // namespace dtnsim::kern

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "dtnsim/kern/version.hpp"
+#include "dtnsim/units/units.hpp"
 
 namespace dtnsim::kern {
 
@@ -25,17 +26,17 @@ struct SkbCaps {
 };
 
 // SKB caps for a kernel profile with BIG TCP optionally enabled at
-// `big_tcp_size` bytes (the paper uses 150 KiB). Disabled or unsupported
+// `big_tcp_size` (the paper uses 150 KiB). Disabled or unsupported
 // kernels keep the 64 KiB legacy ceiling.
-SkbCaps skb_caps(const KernelProfile& kernel, bool big_tcp_enabled, double big_tcp_size);
+SkbCaps skb_caps(const KernelProfile& kernel, bool big_tcp_enabled, units::Bytes big_tcp_size);
 
 // Largest TX super-packet actually buildable: frag-count times frag unit
 // (4 KiB pinned pages under zerocopy, 32 KiB compound pages for copies),
 // clamped by gso_max and never below one MTU.
-double effective_gso_bytes(const SkbCaps& caps, bool zerocopy, double mtu_bytes);
+units::Bytes effective_gso_bytes(const SkbCaps& caps, bool zerocopy, units::Bytes mtu);
 
 // Largest RX aggregate GRO can build (header frag reserved).
-double effective_gro_bytes(const SkbCaps& caps, double mtu_bytes);
+units::Bytes effective_gro_bytes(const SkbCaps& caps, units::Bytes mtu);
 
 // Descriptive single-packet view used by the packet-level tests.
 struct Skb {
@@ -45,8 +46,8 @@ struct Skb {
   double gso_size = 0.0;  // MSS each segment carries on the wire
 };
 
-// Build the SKB sequence for sending `bytes`; every SKB respects the frag
+// Build the SKB sequence for sending `payload`; every SKB respects the frag
 // and gso limits. Exposed for unit/property tests of the geometry.
-int skbs_for_send(double bytes, const SkbCaps& caps, bool zerocopy, double mtu_bytes);
+int skbs_for_send(units::Bytes payload, const SkbCaps& caps, bool zerocopy, units::Bytes mtu);
 
 }  // namespace dtnsim::kern

@@ -18,20 +18,20 @@ const char* sock_err_name(SockErr e) {
   return "?";
 }
 
-SimSocket::SimSocket(const SysctlConfig& sysctl, const SkbCaps& caps, double mtu_bytes)
+SimSocket::SimSocket(const SysctlConfig& sysctl, const SkbCaps& caps, units::Bytes mtu)
     : sysctl_(sysctl),
       caps_(caps),
-      mtu_(mtu_bytes),
+      mtu_(mtu.value()),
       wmem_limit_(sysctl.max_send_window_bytes()),
-      zc_(sysctl.optmem_max) {}
+      zc_(units::Bytes(sysctl.optmem_max)) {}
 
 SockErr SimSocket::set_zerocopy(bool on) {
   so_zerocopy_ = on;
   return SockErr::Ok;
 }
 
-SockErr SimSocket::set_max_pacing_rate(double bps) {
-  pacing_rate_ = std::max(bps, 0.0);
+SockErr SimSocket::set_max_pacing_rate(units::Rate rate) {
+  pacing_rate_ = std::max(rate.bps(), 0.0);
   return SockErr::Ok;
 }
 
@@ -40,8 +40,9 @@ double SimSocket::effective_pacing_bps() const {
   return sysctl_.default_qdisc == QdiscKind::Fq ? pacing_rate_ : 0.0;
 }
 
-SendResult SimSocket::send(double bytes, int flags) {
+SendResult SimSocket::send(units::Bytes payload, int flags) {
   SendResult res;
+  const double bytes = payload.value();
   if (bytes <= 0) return res;
 
   const bool want_zc = (flags & MSG_ZEROCOPY_FLAG) != 0;
@@ -59,8 +60,8 @@ SendResult SimSocket::send(double bytes, int flags) {
   const double queued = std::min(bytes, room);
 
   if (want_zc) {
-    const double gso = effective_gso_bytes(caps_, /*zerocopy=*/true, mtu_);
-    const auto plan = zc_.plan_send(queued, gso);
+    const units::Bytes gso = effective_gso_bytes(caps_, /*zerocopy=*/true, units::Bytes(mtu_));
+    const auto plan = zc_.plan_send(units::Bytes(queued), gso);
     res.zc_bytes = plan.zc_bytes;
     res.fallback_bytes = plan.fallback_bytes;  // kernel copies silently
   }
@@ -73,10 +74,10 @@ SendResult SimSocket::send(double bytes, int flags) {
   return res;
 }
 
-void SimSocket::on_acked(double bytes) {
-  double remaining = std::max(bytes, 0.0);
+void SimSocket::on_acked(units::Bytes acked) {
+  double remaining = std::max(acked.value(), 0.0);
   wmem_used_ = std::max(wmem_used_ - remaining, 0.0);
-  zc_.on_acked(remaining);
+  zc_.on_acked(units::Bytes(remaining));
 
   while (remaining > 0 && !pending_.empty()) {
     PendingRange& front = pending_.front();
@@ -106,10 +107,10 @@ std::optional<ZcCompletion> SimSocket::read_error_queue() {
   return out;
 }
 
-void SimSocket::deliver(double bytes) { rx_queue_ += std::max(bytes, 0.0); }
+void SimSocket::deliver(units::Bytes payload) { rx_queue_ += std::max(payload.value(), 0.0); }
 
-double SimSocket::recv(double max_bytes, int flags) {
-  const double take = std::min(std::max(max_bytes, 0.0), rx_queue_);
+double SimSocket::recv(units::Bytes max_read, int flags) {
+  const double take = std::min(std::max(max_read.value(), 0.0), rx_queue_);
   rx_queue_ -= take;
   if (flags & MSG_TRUNC_FLAG) {
     truncated_ += take;  // discarded, never copied to user space

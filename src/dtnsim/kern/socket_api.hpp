@@ -52,32 +52,32 @@ class SimSocket {
  public:
   // `sysctl` supplies optmem_max and wmem; `caps` the SKB geometry;
   // `qdisc` gates whether SO_MAX_PACING_RATE is honoured.
-  SimSocket(const SysctlConfig& sysctl, const SkbCaps& caps, double mtu_bytes);
+  SimSocket(const SysctlConfig& sysctl, const SkbCaps& caps, units::Bytes mtu);
 
   // --- setsockopt ---------------------------------------------------------
   SockErr set_zerocopy(bool on);                 // SO_ZEROCOPY
-  SockErr set_max_pacing_rate(double bps);       // SO_MAX_PACING_RATE
+  SockErr set_max_pacing_rate(units::Rate rate);  // SO_MAX_PACING_RATE
   bool zerocopy_enabled() const { return so_zerocopy_; }
   // Effective pacing rate: 0 when the qdisc cannot pace.
   double effective_pacing_bps() const;
 
   // --- send path ----------------------------------------------------------
-  // Queue `bytes` with `flags`. MSG_ZEROCOPY requires SO_ZEROCOPY. Returns
+  // Queue `payload` with `flags`. MSG_ZEROCOPY requires SO_ZEROCOPY. Returns
   // how much was queued and how the zerocopy/fallback split landed.
-  SendResult send(double bytes, int flags);
+  SendResult send(units::Bytes payload, int flags);
 
-  // The network ACKed `bytes`: frees wmem and releases zerocopy charges;
-  // completed send-call ranges appear on the error queue.
-  void on_acked(double bytes);
+  // The network ACKed `acked` bytes: frees wmem and releases zerocopy
+  // charges; completed send-call ranges appear on the error queue.
+  void on_acked(units::Bytes acked);
 
   // MSG_ERRQUEUE read: pop the next (possibly coalesced) completion.
   std::optional<ZcCompletion> read_error_queue();
 
   // --- receive path --------------------------------------------------------
-  // Deliver `bytes` into the receive queue (from the network).
-  void deliver(double bytes);
+  // Deliver `payload` into the receive queue (from the network).
+  void deliver(units::Bytes payload);
   // recv with optional MSG_TRUNC (discard without copying).
-  double recv(double max_bytes, int flags);
+  double recv(units::Bytes max_read, int flags);
   double rx_queue_bytes() const { return rx_queue_; }
 
   // --- introspection --------------------------------------------------------

@@ -5,10 +5,11 @@
 
 namespace dtnsim::kern {
 
-ZcTxSocket::SendPlan ZcTxSocket::preview_send(double bytes, double superpkt_bytes) const {
+ZcTxSocket::SendPlan ZcTxSocket::preview_send(units::Bytes payload, units::Bytes superpkt) const {
   SendPlan plan;
-  if (bytes <= 0 || superpkt_bytes <= 0) return plan;
-  const double charge_per_byte = kZcChargePerSuperPkt / superpkt_bytes;
+  const double bytes = payload.value();
+  if (bytes <= 0 || superpkt.value() <= 0) return plan;
+  const double charge_per_byte = kZcChargePerSuperPkt / superpkt.value();
   const double chargeable_bytes =
       charge_per_byte > 0 ? optmem_available() / charge_per_byte : bytes;
   plan.zc_bytes = std::min(bytes, chargeable_bytes);
@@ -16,11 +17,12 @@ ZcTxSocket::SendPlan ZcTxSocket::preview_send(double bytes, double superpkt_byte
   return plan;
 }
 
-ZcTxSocket::SendPlan ZcTxSocket::plan_send(double bytes, double superpkt_bytes) {
+ZcTxSocket::SendPlan ZcTxSocket::plan_send(units::Bytes payload, units::Bytes superpkt) {
   SendPlan plan;
-  if (bytes <= 0 || superpkt_bytes <= 0) return plan;
+  const double bytes = payload.value();
+  if (bytes <= 0 || superpkt.value() <= 0) return plan;
 
-  const double charge_per_byte = kZcChargePerSuperPkt / superpkt_bytes;
+  const double charge_per_byte = kZcChargePerSuperPkt / superpkt.value();
   const double chargeable_bytes =
       charge_per_byte > 0 ? optmem_available() / charge_per_byte : bytes;
 
@@ -40,8 +42,8 @@ ZcTxSocket::SendPlan ZcTxSocket::plan_send(double bytes, double superpkt_bytes) 
   return plan;
 }
 
-void ZcTxSocket::on_acked(double bytes) {
-  double remaining = std::max(bytes, 0.0);
+void ZcTxSocket::on_acked(units::Bytes acked) {
+  double remaining = std::max(acked.value(), 0.0);
   while (remaining > 0 && !inflight_.empty()) {
     Chunk& front = inflight_.front();
     if (front.bytes <= remaining + 1e-9) {

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <deque>
 
+#include "dtnsim/units/units.hpp"
+
 namespace dtnsim::kern {
 
 // optmem charged per in-flight zerocopy super-packet: one ubuf_info plus the
@@ -22,24 +24,24 @@ inline constexpr double kZcChargePerSuperPkt = 160.0;
 
 class ZcTxSocket {
  public:
-  explicit ZcTxSocket(double optmem_max) : optmem_max_(optmem_max) {}
+  explicit ZcTxSocket(units::Bytes optmem_max) : optmem_max_(optmem_max.value()) {}
 
   struct SendPlan {
     double zc_bytes = 0.0;        // pinned and sent without copying
     double fallback_bytes = 0.0;  // attempted zerocopy, copied instead
   };
 
-  // Plan sending `bytes` as zerocopy super-packets of `superpkt_bytes`.
+  // Plan sending `payload` as zerocopy super-packets of `superpkt` bytes.
   // Charges optmem for what fits; the remainder falls back to copy.
-  SendPlan plan_send(double bytes, double superpkt_bytes);
+  SendPlan plan_send(units::Bytes payload, units::Bytes superpkt);
 
   // Same split as plan_send but without charging — used to price a send
   // before the CPU budget decides how much is actually sent.
-  SendPlan preview_send(double bytes, double superpkt_bytes) const;
+  SendPlan preview_send(units::Bytes payload, units::Bytes superpkt) const;
 
-  // ACK `bytes` of in-flight data; releases charges FIFO. ACKed bytes beyond
+  // ACK `acked` in-flight data; releases charges FIFO. ACKed bytes beyond
   // what was charged (copied bytes interleaved) release nothing.
-  void on_acked(double bytes);
+  void on_acked(units::Bytes acked);
 
   // Peer reset / flow teardown: release everything.
   void reset();

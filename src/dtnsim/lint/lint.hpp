@@ -1,0 +1,62 @@
+// dtnsim-lint: an in-tree, dependency-free static analyzer for the repo's
+// own conventions. It is deliberately token-level — no AST — because every
+// rule it enforces is lexically visible:
+//
+//   determinism      simulation/library code must not reach for wall clocks
+//                    or nondeterministic randomness (std::random_device,
+//                    rand, steady_clock, ...). Reproducible runs are the
+//                    whole point of the simulator.
+//   raw-unit-double  public library headers must not take scaled-unit
+//                    doubles (gbps, seconds, millis, ...) as parameters —
+//                    that is what dtnsim::units strong types are for. Raw
+//                    `bps`/`dt_sec` tick-level conventions stay legal.
+//   include-hygiene  bench/ headers never leak into src/ or tests/, and
+//                    library code does not include <iostream> (the repo
+//                    logs via util/log and printf).
+//   mutex-guard      code under sweep/ takes locks only through RAII
+//                    guards; bare .lock()/.unlock()/.try_lock() calls on a
+//                    mutex are flagged.
+//
+// Findings can be silenced with a trailing or preceding comment:
+//   // dtnsim-lint: allow(<rule>[, <rule>...])   or   allow(all)
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dtnsim::lint {
+
+// How a path participates in the rule set. Classification keys off the
+// *last* recognizable directory component so fixture trees that embed a
+// fake src/ layout (tests/lint_fixtures/src/...) classify like the code
+// they imitate.
+enum class FileKind {
+  LibraryHeader,  // src/**/*.hpp — all rules incl. raw-unit-double
+  LibrarySource,  // src/**/*.cpp — determinism + hygiene (+ mutex in sweep/)
+  UnitsLibrary,   // src/dtnsim/units/** — exempt from raw-unit-double
+  Bench,          // bench/** — may use wall clocks, may include bench/
+  Test,           // tests/**
+  Tool,           // tools/**
+  Example,        // examples/**
+  Other,
+};
+
+struct Finding {
+  std::string rule;     // stable rule id, e.g. "determinism"
+  std::string path;     // as given to lint_file
+  int line = 0;         // 1-based
+  std::string message;  // human explanation
+};
+
+FileKind classify(const std::string& path);
+
+// Lint one file's contents. `path` drives classification and is echoed in
+// findings; it does not need to exist on disk.
+std::vector<Finding> lint_file(const std::string& path, const std::string& content);
+
+// Renderers. Human output is one "path:line: [rule] message" per line;
+// JSON is {"count":N,"findings":[...]} with escaped strings.
+std::string to_human(const std::vector<Finding>& findings);
+std::string to_json(const std::vector<Finding>& findings);
+
+}  // namespace dtnsim::lint

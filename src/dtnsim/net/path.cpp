@@ -12,9 +12,10 @@ double Path::available_capacity_bps(Rng& rng) const {
   return std::max(spec_.capacity_bps - bg, spec_.capacity_bps * 0.05);
 }
 
-Path::Outcome Path::transit(double bytes, double dt_sec, bool paced, double smoothness,
-                            Rng& rng) const {
+Path::Outcome Path::transit(units::Bytes offered, double dt_sec, bool paced,
+                            double smoothness, Rng& rng) const {
   Outcome out;
+  const double bytes = offered.value();
   if (bytes <= 0 || dt_sec <= 0) return out;
 
   const double cap = available_capacity_bps(rng);

@@ -52,7 +52,7 @@ class Path {
   // raises the effective burst tolerance: 1.0 for unpaced trains, ~1.05 for
   // fq-paced traffic, ~1.2 for zerocopy+fq (no copy jitter perturbing the
   // pacing schedule). Unpaced bursts beyond tolerance lose their tails.
-  Outcome transit(double bytes, double dt_sec, bool paced, double smoothness,
+  Outcome transit(units::Bytes offered, double dt_sec, bool paced, double smoothness,
                   Rng& rng) const;
 
  private:

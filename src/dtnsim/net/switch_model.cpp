@@ -27,9 +27,10 @@ double SwitchModel::burst_tolerance_bps(double rtt_sec, double burst_fraction) c
          spec_.shared_buffer_bytes * 8.0 / std::max(rtt_sec, 1e-3) / bf * 0.5;
 }
 
-SwitchModel::Outcome SwitchModel::offer(double bytes, double dt_sec,
+SwitchModel::Outcome SwitchModel::offer(units::Bytes offered, double dt_sec,
                                         double burst_fraction) const {
   Outcome out;
+  const double bytes = offered.value();
   if (bytes <= 0 || dt_sec <= 0) return out;
   const double rate = bytes * 8.0 / dt_sec;
   const double egress_bytes = spec_.egress_bps * dt_sec / 8.0;

@@ -35,7 +35,7 @@ class SwitchModel {
   // One tick of aggregate offered load. `burst_fraction` is how much of the
   // offered bytes arrive in synchronized bursts (unpaced flows collide;
   // paced flows interleave smoothly).
-  Outcome offer(double bytes, double dt_sec, double burst_fraction) const;
+  Outcome offer(units::Bytes offered, double dt_sec, double burst_fraction) const;
 
   // Aggregate rate above which synchronized (unpaced) arrivals overflow the
   // shared buffer within one RTT.

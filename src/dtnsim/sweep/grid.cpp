@@ -97,6 +97,7 @@ std::vector<Cell> expand(const GridSpec& grid) {
                   cell.index = cells.size();
                   cell.spec = harness::TestSpec::on(tb, path_name, iperf);
                   cell.spec.repeats = grid.repeats;
+                  cell.spec.telemetry = grid.telemetry;
                   for (auto* h : {&cell.spec.sender, &cell.spec.receiver}) {
                     if (optmem >= 0) h->tuning.sysctl.optmem_max = optmem;
                     if (big_tcp) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "dtnsim/harness/runner.hpp"
+#include "dtnsim/obs/telemetry.hpp"
 
 namespace dtnsim::sweep {
 
@@ -48,6 +49,10 @@ struct GridSpec {
   double duration_sec = 60.0;
   int repeats = 10;
   std::uint64_t base_seed = 0x5eed;
+  // Applied to every cell verbatim. Telemetry does not enter the cell seed
+  // or the cache key, but the campaign engine refuses to cache cells with
+  // telemetry enabled (series are too big to address by spec content).
+  obs::TelemetryConfig telemetry;
 };
 
 // One expanded grid cell.

@@ -1,0 +1,41 @@
+#include "dtnsim/units/units.hpp"
+
+#include <cstdio>
+
+namespace dtnsim::units {
+namespace {
+
+// Local printf wrapper: units sits below util in the module graph, so it
+// cannot reach util/strfmt.hpp.
+template <class... Args>
+std::string fmt(const char* f, Args... args) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), f, args...);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_rate(double bps) {
+  if (bps >= 1e9) return fmt("%.2f Gbps", bps / 1e9);
+  if (bps >= 1e6) return fmt("%.2f Mbps", bps / 1e6);
+  if (bps >= 1e3) return fmt("%.2f Kbps", bps / 1e3);
+  return fmt("%.0f bps", bps);
+}
+
+std::string format_bytes(double bytes) {
+  if (bytes >= 1024.0 * 1024.0 * 1024.0)
+    return fmt("%.2f GiB", bytes / (1024.0 * 1024.0 * 1024.0));
+  if (bytes >= 1024.0 * 1024.0) return fmt("%.2f MiB", bytes / (1024.0 * 1024.0));
+  if (bytes >= 1024.0) return fmt("%.2f KiB", bytes / 1024.0);
+  return fmt("%.0f B", bytes);
+}
+
+std::string format_time(Nanos t) {
+  if (t >= kNanosPerSec) return fmt("%.2f s", static_cast<double>(t) / 1e9);
+  if (t >= 1'000'000) return fmt("%.2f ms", static_cast<double>(t) / 1e6);
+  if (t >= 1'000) return fmt("%.2f us", static_cast<double>(t) / 1e3);
+  return fmt("%lld ns", static_cast<long long>(t));
+}
+
+}  // namespace dtnsim::units

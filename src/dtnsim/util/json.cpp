@@ -286,6 +286,9 @@ class Parser {
     char* end = nullptr;
     const double value = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) return false;
+    // JSON has no NaN/Infinity, and overflowing literals ("1e999") must not
+    // smuggle one in: every number the cache reads back is finite.
+    if (!std::isfinite(value)) return false;
     pos_ = p;
     *out = Json(value);
     return true;

@@ -1,53 +1,6 @@
-// Units used throughout dtnsim.
-//
-// Conventions (chosen once, applied everywhere):
-//   - simulated time    : Nanos (int64_t nanoseconds) for the event engine,
-//                         double seconds for fluid-rate math inside a tick
-//   - data rates        : double, bits per second
-//   - data sizes        : double or std::uint64_t, bytes
-//   - CPU               : double, cycles (per second budgets, per op costs)
+// Forwarding header: the units layer moved to dtnsim/units/units.hpp when
+// it grew strong types (Bytes, Bits, Packets, Cycles, SimTime, Rate).
+// Existing includes keep working; new code should include the real header.
 #pragma once
 
-#include <cstdint>
-#include <string>
-
-namespace dtnsim {
-
-using Nanos = std::int64_t;
-
-namespace units {
-
-// --- time -------------------------------------------------------------
-inline constexpr Nanos kNanosPerSec = 1'000'000'000;
-
-constexpr Nanos seconds(double s) { return static_cast<Nanos>(s * 1e9); }
-constexpr Nanos millis(double ms) { return static_cast<Nanos>(ms * 1e6); }
-constexpr Nanos micros(double us) { return static_cast<Nanos>(us * 1e3); }
-constexpr double to_seconds(Nanos t) { return static_cast<double>(t) / 1e9; }
-constexpr double to_millis(Nanos t) { return static_cast<double>(t) / 1e6; }
-
-// --- rates (bits per second) -------------------------------------------
-constexpr double gbps(double g) { return g * 1e9; }
-constexpr double mbps(double m) { return m * 1e6; }
-constexpr double kbps(double k) { return k * 1e3; }
-constexpr double to_gbps(double bps) { return bps / 1e9; }
-
-// --- sizes (bytes) ------------------------------------------------------
-constexpr double kib(double k) { return k * 1024.0; }
-constexpr double mib(double m) { return m * 1024.0 * 1024.0; }
-constexpr double gib(double g) { return g * 1024.0 * 1024.0 * 1024.0; }
-
-// Bytes transferred in `t` at `bps` bits/second.
-constexpr double bytes_at(double bps, double t_sec) { return bps * t_sec / 8.0; }
-// Rate that transfers `bytes` in `t_sec` seconds.
-constexpr double rate_of(double bytes, double t_sec) {
-  return t_sec > 0 ? bytes * 8.0 / t_sec : 0.0;
-}
-
-// Human-readable formatting ("42.1 Gbps", "104 ms", "3.25 MB").
-std::string format_rate(double bps);
-std::string format_bytes(double bytes);
-std::string format_time(Nanos t);
-
-}  // namespace units
-}  // namespace dtnsim
+#include "dtnsim/units/units.hpp"

@@ -1,0 +1,14 @@
+// MUST NOT COMPILE: passing Bits where Bytes is expected. The units layer's
+// whole job is making this a compile error instead of an 8x throughput bug.
+// tests/CMakeLists.txt try_compiles this and asserts failure.
+#include "dtnsim/units/units.hpp"
+
+using namespace dtnsim::units;
+
+Bytes window_for(Bytes b) { return b; }
+
+int main() {
+  Bits wire(1e9);
+  window_for(wire);  // Bits != Bytes: no implicit conversion exists
+  return 0;
+}

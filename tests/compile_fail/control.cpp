@@ -1,0 +1,14 @@
+// Control for the compile-fail check: identical shape to bits_for_bytes.cpp
+// but with the correct explicit conversion. MUST compile — proving the
+// negative test fails for the type mismatch, not a broken include path.
+#include "dtnsim/units/units.hpp"
+
+using namespace dtnsim::units;
+
+Bytes window_for(Bytes b) { return b; }
+
+int main() {
+  Bits wire(1e9);
+  window_for(bits_to_bytes(wire));
+  return 0;
+}

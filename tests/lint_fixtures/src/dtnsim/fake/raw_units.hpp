@@ -1,0 +1,15 @@
+// Fixture: raw-unit-double (scaled-unit double params in a public header)
+// and include-hygiene (<iostream> in library code).
+#pragma once
+
+#include <iostream>
+
+namespace dtnsim::fake {
+
+// Both parameters should ride in units::Rate / units::SimTime.
+double transfer_score(double pacing_gbps, double duration_seconds);
+
+// Legal by convention: tick-level dt_sec and raw bits-per-second.
+double tick_step(double dt_sec, double rate_bps);
+
+}  // namespace dtnsim::fake

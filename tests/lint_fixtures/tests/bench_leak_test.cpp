@@ -1,0 +1,4 @@
+// Fixture: include-hygiene violation — a test including a bench/ header.
+#include "bench/bench_common.hpp"
+
+int main() { return 0; }

@@ -11,9 +11,9 @@ TEST(Experiment, BuilderComposesSpec) {
                         .path("WAN 63ms")
                         .streams(8)
                         .zerocopy()
-                        .pacing_gbps(15)
+                        .pacing(units::Rate::from_gbps(15))
                         .kernel(kern::KernelVersion::V5_15)
-                        .optmem_max(3405376)
+                        .optmem_max(units::Bytes(3405376))
                         .repeats(7)
                         .seed(99)
                         .label("my test")
@@ -36,8 +36,8 @@ TEST(Experiment, DefaultsToLan) {
 
 TEST(Experiment, TogglesApplyToBothHosts) {
   const auto spec = Experiment(harness::esnet())
-                        .big_tcp(true, 200 * 1024)
-                        .mtu(1500)
+                        .big_tcp(true, units::Bytes(200 * 1024))
+                        .mtu(units::Bytes(1500))
                         .ring(4096)
                         .iommu_passthrough(false)
                         .spec();
@@ -52,8 +52,8 @@ TEST(Experiment, TogglesApplyToBothHosts) {
 
 TEST(Experiment, RunsEndToEnd) {
   const auto r = Experiment(harness::esnet())
-                     .pacing_gbps(10)
-                     .duration_sec(3)
+                     .pacing(units::Rate::from_gbps(10))
+                     .duration(units::SimTime::from_seconds(3))
                      .repeats(2)
                      .run();
   EXPECT_NEAR(r.avg_gbps, 10.0, 1.0);
@@ -113,9 +113,9 @@ TEST(Advisor, BigTcpZerocopyConflictNoted) {
 
 TEST(Advisor, PacingRecommendation) {
   // §V-B: 1 Gbps for 10G clients; 5-8 Gbps between 100G hosts.
-  EXPECT_DOUBLE_EQ(recommended_pacing_gbps(100, 10), 1.0);
-  EXPECT_DOUBLE_EQ(recommended_pacing_gbps(100, 40), 5.0);
-  EXPECT_NEAR(recommended_pacing_gbps(100, 100), 8.0, 0.5);
+  EXPECT_DOUBLE_EQ(recommended_pacing(units::Rate::from_gbps(100), units::Rate::from_gbps(10)).gbps(), 1.0);
+  EXPECT_DOUBLE_EQ(recommended_pacing(units::Rate::from_gbps(100), units::Rate::from_gbps(40)).gbps(), 5.0);
+  EXPECT_NEAR(recommended_pacing(units::Rate::from_gbps(100), units::Rate::from_gbps(100)).gbps(), 8.0, 0.5);
 }
 
 }  // namespace

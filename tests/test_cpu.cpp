@@ -93,10 +93,10 @@ TEST(Affinity, PenaltiesCompose) {
 
 TEST(CoreBudget, ConsumeSaturates) {
   CoreBudget b;
-  b.reset(100.0);
-  EXPECT_DOUBLE_EQ(b.consume(60.0), 60.0);
-  EXPECT_DOUBLE_EQ(b.consume(60.0), 40.0);
-  EXPECT_DOUBLE_EQ(b.consume(1.0), 0.0);
+  b.reset(units::Cycles(100.0));
+  EXPECT_DOUBLE_EQ(b.consume(units::Cycles(60.0)), 60.0);
+  EXPECT_DOUBLE_EQ(b.consume(units::Cycles(60.0)), 40.0);
+  EXPECT_DOUBLE_EQ(b.consume(units::Cycles(1.0)), 0.0);
   EXPECT_DOUBLE_EQ(b.utilization(), 1.0);
 }
 
@@ -104,7 +104,7 @@ TEST(CorePool, CapacityScalesWithCoresAndTime) {
   CorePool pool(8, 3.6e9);
   pool.begin_tick(0.001);
   EXPECT_DOUBLE_EQ(pool.capacity(), 8 * 3.6e9 * 0.001);
-  pool.consume(pool.capacity() / 2);
+  pool.consume(units::Cycles(pool.capacity() / 2));
   EXPECT_DOUBLE_EQ(pool.utilization(), 0.5);
 }
 

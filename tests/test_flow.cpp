@@ -14,7 +14,7 @@ TransferConfig lan_config() {
   cfg.sender = tb.sender;
   cfg.receiver = tb.receiver;
   cfg.path = tb.lan();
-  cfg.duration = units::seconds(5);
+  cfg.duration = units::SimTime::from_seconds(5);
   cfg.seed = 42;
   return cfg;
 }
@@ -145,7 +145,7 @@ TEST(Transfer, SenderBoundOnWanDefault) {
   // dilute the average a bit in a short run.
   auto cfg = lan_config();
   cfg.path = harness::esnet_wan();
-  cfg.duration = units::seconds(15);
+  cfg.duration = units::SimTime::from_seconds(15);
   const auto res = run_transfer(cfg);
   EXPECT_GT(res.sender_cpu.app_util, 0.75);
   EXPECT_LT(res.receiver_cpu.app_util, res.sender_cpu.app_util * 0.8);
@@ -163,7 +163,7 @@ TEST(Transfer, MoreStreamsMoreThroughputUntilSaturation) {
 
 TEST(Transfer, ZeroDurationSafe) {
   auto cfg = lan_config();
-  cfg.duration = 0;
+  cfg.duration = units::SimTime();
   const auto res = run_transfer(cfg);
   EXPECT_DOUBLE_EQ(res.throughput_bps, 0.0);
 }

@@ -8,7 +8,7 @@
 namespace dtnsim {
 namespace {
 
-harness::TestResult quick(Experiment e) { return e.duration_sec(15).repeats(3).run(); }
+harness::TestResult quick(Experiment e) { return e.duration(units::SimTime::from_seconds(15)).repeats(3).run(); }
 
 TEST(Features, BigTcpPlusZerocopyNoopOnStockKernel) {
   // §II-C: "BIG TCP and zerocopy cannot be used simultaneously without a
@@ -16,7 +16,7 @@ TEST(Features, BigTcpPlusZerocopyNoopOnStockKernel) {
   // limit clamps the super-packet, so enabling BIG TCP changes nothing.
   const auto zc = quick(Experiment(harness::esnet()).zerocopy().skip_rx_copy());
   const auto zc_big =
-      quick(Experiment(harness::esnet()).zerocopy().skip_rx_copy().big_tcp(true, 180 * 1024));
+      quick(Experiment(harness::esnet()).zerocopy().skip_rx_copy().big_tcp(true, units::Bytes(180 * 1024)));
   EXPECT_NEAR(zc_big.avg_gbps, zc.avg_gbps, zc.avg_gbps * 0.02);
 }
 
@@ -26,17 +26,17 @@ TEST(Features, Frags45UnlocksTheCombination) {
     h->kernel = kern::custom_kernel_with_frags(h->kernel, 45);
   }
   const auto stock =
-      quick(Experiment(harness::esnet()).zerocopy().skip_rx_copy().big_tcp(true, 180 * 1024));
+      quick(Experiment(harness::esnet()).zerocopy().skip_rx_copy().big_tcp(true, units::Bytes(180 * 1024)));
   const auto custom =
-      quick(Experiment(tb).zerocopy().skip_rx_copy().big_tcp(true, 180 * 1024));
+      quick(Experiment(tb).zerocopy().skip_rx_copy().big_tcp(true, units::Bytes(180 * 1024)));
   // §V-C preliminary result: substantial gains once the frag limit lifts.
   EXPECT_GT(custom.avg_gbps, stock.avg_gbps * 1.2);
 }
 
 TEST(Features, IrqbalanceBlowsUpVariance) {
-  const auto pinned = Experiment(harness::amlight()).duration_sec(15).repeats(12).run();
+  const auto pinned = Experiment(harness::amlight()).duration(units::SimTime::from_seconds(15)).repeats(12).run();
   const auto balanced =
-      Experiment(harness::amlight()).irqbalance(true).duration_sec(15).repeats(12).run();
+      Experiment(harness::amlight()).irqbalance(true).duration(units::SimTime::from_seconds(15)).repeats(12).run();
   // §III-A: 20-55 Gbps run-to-run on the same hardware.
   EXPECT_GT(balanced.stdev_gbps, pinned.stdev_gbps * 2.5);
   EXPECT_LT(balanced.min_gbps, 35.0);
@@ -73,8 +73,8 @@ TEST(Features, HwGroHelpsMostAtSmallMtu) {
     h->nic.drain_smooth_bps = 52e9;
     h->nic.drain_burst_bps = 42e9;
   }
-  const auto off15 = quick(Experiment(tb).zerocopy().mtu(1500));
-  const auto on15 = quick(Experiment(tb).zerocopy().mtu(1500).hw_gro(true));
+  const auto off15 = quick(Experiment(tb).zerocopy().mtu(units::Bytes(1500)));
+  const auto on15 = quick(Experiment(tb).zerocopy().mtu(units::Bytes(1500)).hw_gro(true));
   const auto off9k = quick(Experiment(tb).zerocopy());
   const auto on9k = quick(Experiment(tb).zerocopy().hw_gro(true));
   const double gain15 = on15.avg_gbps / off15.avg_gbps;

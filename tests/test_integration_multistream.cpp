@@ -7,7 +7,7 @@ namespace dtnsim {
 namespace {
 
 harness::TestResult run8(Experiment e, double pace_gbps) {
-  return e.streams(8).pacing_gbps(pace_gbps).duration_sec(30).repeats(4).run();
+  return e.streams(8).pacing(units::Rate::from_gbps(pace_gbps)).duration(units::SimTime::from_seconds(30)).repeats(4).run();
 }
 
 // ---- Table I: ESnet LAN, kernel 5.15, no flow control ----
@@ -93,7 +93,7 @@ TEST(TableIII, FlowControlPreventsNicDrops) {
   cfg.path = tb.paths[0];
   cfg.streams = 8;
   cfg.link_flow_control = true;
-  cfg.duration = units::seconds(10);
+  cfg.duration = units::SimTime::from_seconds(10);
   cfg.seed = 5;
   const auto res = flow::run_transfer(cfg);
   EXPECT_DOUBLE_EQ(res.dropped_bytes_nic, 0.0);

@@ -10,7 +10,7 @@ namespace dtnsim {
 namespace {
 
 harness::TestResult quick(Experiment e) {
-  return e.duration_sec(20).repeats(3).run();
+  return e.duration(units::SimTime::from_seconds(20)).repeats(3).run();
 }
 
 // ---- Fig. 5 / Fig. 6 anchors ----
@@ -47,7 +47,7 @@ TEST(SingleStream, ZerocopyAloneDoesNotHelp) {
 TEST(SingleStream, ZerocopyPlusPacingUpTo35PercentOnWan) {
   const auto def = quick(Experiment(harness::amlight()).path("WAN 54ms"));
   const auto zcp =
-      quick(Experiment(harness::amlight()).path("WAN 54ms").zerocopy().pacing_gbps(50));
+      quick(Experiment(harness::amlight()).path("WAN 54ms").zerocopy().pacing(units::Rate::from_gbps(50)));
   const double gain = zcp.avg_gbps / def.avg_gbps;
   EXPECT_GT(gain, 1.20);
   EXPECT_LT(gain, 1.55);
@@ -61,8 +61,8 @@ TEST(SingleStream, ZerocopyPacingFlatAcrossRtt) {
     const auto r = quick(Experiment(harness::amlight())
                              .path(path)
                              .zerocopy()
-                             .pacing_gbps(50)
-                             .optmem_max(3405376));
+                             .pacing(units::Rate::from_gbps(50))
+                             .optmem_max(units::Bytes(3405376)));
     EXPECT_NEAR(r.avg_gbps, 49.0, 2.5) << path;
     if (prev > 0) {
       EXPECT_NEAR(r.avg_gbps, prev, 2.0);
@@ -90,7 +90,7 @@ TEST(SingleStream, EsnetZerocopyPacingRecoversWan) {
   // Fig. 6: 85% improvement on the ESnet WAN, matching LAN.
   const auto def = quick(Experiment(harness::esnet()).path("WAN 63ms"));
   const auto zcp =
-      quick(Experiment(harness::esnet()).path("WAN 63ms").zerocopy().pacing_gbps(40));
+      quick(Experiment(harness::esnet()).path("WAN 63ms").zerocopy().pacing(units::Rate::from_gbps(40)));
   EXPECT_GT(zcp.avg_gbps / def.avg_gbps, 1.5);
   const auto lan = quick(Experiment(harness::esnet()));
   EXPECT_NEAR(zcp.avg_gbps, lan.avg_gbps, 5.0);  // "matching the LAN test"
@@ -103,8 +103,8 @@ TEST(CpuShape, ZerocopyPacingDropsSenderCpu) {
   const auto zcp = quick(Experiment(harness::amlight())
                              .path("WAN 25ms")
                              .zerocopy()
-                             .pacing_gbps(50)
-                             .optmem_max(3405376));
+                             .pacing(units::Rate::from_gbps(50))
+                             .optmem_max(units::Bytes(3405376)));
   EXPECT_GT(def.snd_cpu_pct, 82.0);          // sender-bound default WAN
   EXPECT_LT(zcp.snd_cpu_pct, def.snd_cpu_pct * 0.6);
   EXPECT_GT(zcp.rcv_cpu_pct, zcp.snd_cpu_pct);  // receiver becomes the bottleneck
@@ -117,8 +117,8 @@ TEST(Optmem, DefaultOptmemCripplesWanZerocopy) {
                                .kernel(kern::KernelVersion::V6_5)
                                .path("WAN 25ms")
                                .zerocopy()
-                               .pacing_gbps(50)
-                               .optmem_max(20480));
+                               .pacing(units::Rate::from_gbps(50))
+                               .optmem_max(units::Bytes(20480)));
   EXPECT_LT(small.avg_gbps, 38.0);     // far below the 50G pacing rate
   EXPECT_GT(small.snd_cpu_pct, 90.0);  // "completely CPU limited on the sender"
 }
@@ -130,8 +130,8 @@ TEST(Optmem, MonotoneAcrossPaperValues) {
                              .kernel(kern::KernelVersion::V6_5)
                              .path("WAN 104ms")
                              .zerocopy()
-                             .pacing_gbps(50)
-                             .optmem_max(om));
+                             .pacing(units::Rate::from_gbps(50))
+                             .optmem_max(units::Bytes(om)));
     EXPECT_GE(r.avg_gbps, prev - 1.0);
     prev = r.avg_gbps;
   }
@@ -142,8 +142,8 @@ TEST(Optmem, LanUnaffectedBySmallOptmem) {
   // Tiny in-flight windows on the LAN: even 20 KB suffices.
   const auto r = quick(Experiment(harness::amlight())
                            .zerocopy()
-                           .pacing_gbps(50)
-                           .optmem_max(20480));
+                           .pacing(units::Rate::from_gbps(50))
+                           .optmem_max(units::Bytes(20480)));
   EXPECT_GT(r.avg_gbps, 44.0);
 }
 
@@ -151,13 +151,13 @@ TEST(Optmem, BigOptmemCutsSenderCpu) {
   const auto mid = quick(Experiment(harness::amlight())
                              .path("WAN 104ms")
                              .zerocopy()
-                             .pacing_gbps(50)
-                             .optmem_max(1048576));
+                             .pacing(units::Rate::from_gbps(50))
+                             .optmem_max(units::Bytes(1048576)));
   const auto big = quick(Experiment(harness::amlight())
                              .path("WAN 104ms")
                              .zerocopy()
-                             .pacing_gbps(50)
-                             .optmem_max(3405376));
+                             .pacing(units::Rate::from_gbps(50))
+                             .optmem_max(units::Bytes(3405376)));
   EXPECT_LT(big.snd_cpu_pct, mid.snd_cpu_pct * 0.75);
 }
 
@@ -188,8 +188,8 @@ TEST(Kernels, WanPacedInsensitiveToKernel) {
                              .path("WAN 25ms")
                              .zerocopy()
                              .skip_rx_copy()
-                             .pacing_gbps(50)
-                             .optmem_max(3405376));
+                             .pacing(units::Rate::from_gbps(50))
+                             .optmem_max(units::Bytes(3405376)));
     if (prev > 0) {
       EXPECT_NEAR(r.avg_gbps, prev, 2.5);
     }

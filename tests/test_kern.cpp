@@ -68,20 +68,20 @@ TEST(Sysctl, DefaultsAreStock) {
 }
 
 TEST(Skb, LegacyCapsWithoutBigTcp) {
-  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, 150 * 1024);
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, units::Bytes(150 * 1024));
   EXPECT_DOUBLE_EQ(caps.gso_max_bytes, kLegacyGsoMax);
 }
 
 TEST(Skb, BigTcpRequiresKernelSupport) {
   // 5.15 has no BIG TCP for IPv4: setting it is a no-op.
-  const auto old_caps = skb_caps(kernel_profile(KernelVersion::V5_15), true, 150 * 1024);
+  const auto old_caps = skb_caps(kernel_profile(KernelVersion::V5_15), true, units::Bytes(150 * 1024));
   EXPECT_DOUBLE_EQ(old_caps.gso_max_bytes, kLegacyGsoMax);
-  const auto new_caps = skb_caps(kernel_profile(KernelVersion::V6_8), true, 150 * 1024);
+  const auto new_caps = skb_caps(kernel_profile(KernelVersion::V6_8), true, units::Bytes(150 * 1024));
   EXPECT_DOUBLE_EQ(new_caps.gso_max_bytes, 150.0 * 1024);
 }
 
 TEST(Skb, BigTcpClampedTo512K) {
-  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), true, 10e6);
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), true, units::Bytes(10e6));
   EXPECT_DOUBLE_EQ(caps.gso_max_bytes, kBigTcpGsoMaxIpv4);
 }
 
@@ -89,35 +89,35 @@ TEST(Skb, ZerocopyFragLimitDefeatsBigTcp) {
   // The paper's central BIG TCP caveat: zerocopy pins 4K pages, one per
   // frag, so MAX_SKB_FRAGS=17 caps a zerocopy super-packet at ~64K even
   // with gso_max at 150K.
-  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), true, 150 * 1024);
-  const double copy_gso = effective_gso_bytes(caps, false, 9000);
-  const double zc_gso = effective_gso_bytes(caps, true, 9000);
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), true, units::Bytes(150 * 1024));
+  const double copy_gso = effective_gso_bytes(caps, false, units::Bytes(9000)).value();
+  const double zc_gso = effective_gso_bytes(caps, true, units::Bytes(9000)).value();
   EXPECT_DOUBLE_EQ(copy_gso, 150.0 * 1024);
   EXPECT_DOUBLE_EQ(zc_gso, 16 * 4096.0);  // (17-1) pinned pages
 }
 
 TEST(Skb, Frags45UnlocksBigTcpPlusZerocopy) {
   auto k = custom_kernel_with_frags(kernel_profile(KernelVersion::V6_8), 45);
-  const auto caps = skb_caps(k, true, 180 * 1024);
-  EXPECT_DOUBLE_EQ(effective_gso_bytes(caps, true, 9000), 44 * 4096.0);  // ~180K
+  const auto caps = skb_caps(k, true, units::Bytes(180 * 1024));
+  EXPECT_DOUBLE_EQ(effective_gso_bytes(caps, true, units::Bytes(9000)).value(), 44 * 4096.0);  // ~180K
 }
 
 TEST(Skb, GsoNeverBelowMtu) {
   SkbCaps caps;
   caps.max_skb_frags = 2;
-  EXPECT_GE(effective_gso_bytes(caps, true, 9000), 9000.0);
+  EXPECT_GE(effective_gso_bytes(caps, true, units::Bytes(9000)).value(), 9000.0);
 }
 
 TEST(Skb, SkbsForSendCeil) {
-  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, 0);
-  EXPECT_EQ(skbs_for_send(65536.0, caps, false, 9000), 1);
-  EXPECT_EQ(skbs_for_send(65537.0, caps, false, 9000), 2);
-  EXPECT_EQ(skbs_for_send(0.0, caps, false, 9000), 0);
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, units::Bytes(0));
+  EXPECT_EQ(skbs_for_send(units::Bytes(65536.0), caps, false, units::Bytes(9000)), 1);
+  EXPECT_EQ(skbs_for_send(units::Bytes(65537.0), caps, false, units::Bytes(9000)), 2);
+  EXPECT_EQ(skbs_for_send(units::Bytes(0.0), caps, false, units::Bytes(9000)), 0);
 }
 
 TEST(Gso, CountsConserveBytes) {
-  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, 0);
-  const auto segs = gso_segment(1e6, caps, false, 9000);
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, units::Bytes(0));
+  const auto segs = gso_segment(units::Bytes(1e6), caps, false, units::Bytes(9000));
   double total = 0;
   for (double s : segs) {
     EXPECT_LE(s, 65536.0);
@@ -127,37 +127,37 @@ TEST(Gso, CountsConserveBytes) {
 }
 
 TEST(Gso, WireSegmentsUseMss) {
-  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, 0);
-  const auto c = gso_counts(8960.0 * 100, caps, false, 9000);
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, units::Bytes(0));
+  const auto c = gso_counts(units::Bytes(8960.0 * 100), caps, false, units::Bytes(9000));
   EXPECT_NEAR(c.wire_segments, 100.0, 1e-9);
 }
 
 TEST(Gso, BigTcpReducesSuperpacketCount) {
-  const auto stock = skb_caps(kernel_profile(KernelVersion::V6_8), false, 0);
-  const auto big = skb_caps(kernel_profile(KernelVersion::V6_8), true, 150 * 1024);
+  const auto stock = skb_caps(kernel_profile(KernelVersion::V6_8), false, units::Bytes(0));
+  const auto big = skb_caps(kernel_profile(KernelVersion::V6_8), true, units::Bytes(150 * 1024));
   const double bytes = 10e6;
-  EXPECT_GT(gso_counts(bytes, stock, false, 9000).superpackets,
-            gso_counts(bytes, big, false, 9000).superpackets * 2.0);
+  EXPECT_GT(gso_counts(units::Bytes(bytes), stock, false, units::Bytes(9000)).superpackets,
+            gso_counts(units::Bytes(bytes), big, false, units::Bytes(9000)).superpackets * 2.0);
 }
 
 TEST(Gro, FluidCountsMatchGeometry) {
-  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, 0);
-  const auto c = gro_counts(655360.0, caps, 9000);
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, units::Bytes(0));
+  const auto c = gro_counts(units::Bytes(655360.0), caps, units::Bytes(9000));
   EXPECT_NEAR(c.aggregates, 10.0, 1e-9);
 }
 
 TEST(Gro, EngineAggregatesSegments) {
-  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, 0);
-  GroEngine gro(caps, 9000);
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, units::Bytes(0));
+  GroEngine gro(caps, units::Bytes(9000));
   int aggregates = 0;
   double delivered = 0;
   for (int i = 0; i < 100; ++i) {
-    if (auto agg = gro.add_segment(8960.0)) {
+    if (auto agg = gro.add_segment(units::Bytes(8960.0))) {
       ++aggregates;
-      delivered += *agg;
+      delivered += agg->value();
     }
   }
-  if (auto tail = gro.flush()) delivered += *tail;
+  if (auto tail = gro.flush()) delivered += tail->value();
   EXPECT_DOUBLE_EQ(delivered, 896000.0);
   // 8 segments (71680 B) complete each aggregate: 100 segments -> 12 full.
   EXPECT_EQ(aggregates, 12);
@@ -165,12 +165,12 @@ TEST(Gro, EngineAggregatesSegments) {
 }
 
 TEST(Gro, FlushReturnsPartial) {
-  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, 0);
-  GroEngine gro(caps, 9000);
-  EXPECT_FALSE(gro.add_segment(100.0).has_value());
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, units::Bytes(0));
+  GroEngine gro(caps, units::Bytes(9000));
+  EXPECT_FALSE(gro.add_segment(units::Bytes(100.0)).has_value());
   const auto out = gro.flush();
   ASSERT_TRUE(out.has_value());
-  EXPECT_DOUBLE_EQ(*out, 100.0);
+  EXPECT_DOUBLE_EQ(out->value(), 100.0);
 }
 
 }  // namespace

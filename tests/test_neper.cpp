@@ -34,7 +34,7 @@ TEST(Neper, WarmupExcluded) {
   cfg.sender = tb.sender;
   cfg.receiver = tb.receiver;
   cfg.path = tb.path_named("WAN 63ms");
-  cfg.duration = units::seconds(6);
+  cfg.duration = units::SimTime::from_seconds(6);
   cfg.seed = 1;
   const double whole_run = units::to_gbps(flow::run_transfer(cfg).throughput_bps);
   EXPECT_GT(rep.throughput_gbps, whole_run);

@@ -151,7 +151,7 @@ TEST(Nic, RingClampedToMax) {
 
 TEST(Switch, UnderEgressAllAccepted) {
   SwitchModel sw(edgecore_as9716());
-  const auto o = sw.offer(100e9 / 8 * 0.01, 0.01, 0.5);
+  const auto o = sw.offer(units::Bytes(100e9 / 8 * 0.01), 0.01, 0.5);
   EXPECT_DOUBLE_EQ(o.dropped_bytes, 0.0);
 }
 
@@ -159,7 +159,7 @@ TEST(Switch, OverEgressSheds) {
   SwitchModel sw(edgecore_as9716());
   // 400G offered into a 200G egress for 10 ms: buffer absorbs 64MB/bf.
   const double bytes = 400e9 / 8 * 0.01;
-  const auto o = sw.offer(bytes, 0.01, 1.0);
+  const auto o = sw.offer(units::Bytes(bytes), 0.01, 1.0);
   EXPECT_GT(o.dropped_bytes, 0.0);
   EXPECT_NEAR(o.accepted_bytes + o.dropped_bytes, bytes, 1.0);
 }
@@ -176,7 +176,7 @@ TEST(Path, DeliversUnderCapacity) {
   spec.capacity_bps = 100e9;
   Path p(spec);
   Rng rng(1);
-  const auto o = p.transit(50e9 / 8 * 0.01, 0.01, false, 1.0, rng);
+  const auto o = p.transit(units::Bytes(50e9 / 8 * 0.01), 0.01, false, 1.0, rng);
   EXPECT_DOUBLE_EQ(o.dropped_bytes, 0.0);
 }
 
@@ -186,7 +186,7 @@ TEST(Path, UnpacedOverCapacityDropsShallow) {
   Path p(spec);
   Rng rng(1);
   const double bytes = 120e9 / 8 * 0.01;
-  const auto o = p.transit(bytes, 0.01, false, 1.0, rng);
+  const auto o = p.transit(units::Bytes(bytes), 0.01, false, 1.0, rng);
   EXPECT_GT(o.dropped_bytes, 0.0);
   EXPECT_LT(o.delivered_bytes, bytes);
 }
@@ -196,7 +196,7 @@ TEST(Path, PacedOverCapacityQueuesCleanly) {
   spec.capacity_bps = 80e9;
   Path p(spec);
   Rng rng(1);
-  const auto o = p.transit(120e9 / 8 * 0.01, 0.01, true, 1.05, rng);
+  const auto o = p.transit(units::Bytes(120e9 / 8 * 0.01), 0.01, true, 1.05, rng);
   EXPECT_DOUBLE_EQ(o.dropped_bytes, 0.0);
   EXPECT_NEAR(o.delivered_bytes, 80e9 / 8 * 0.01, 1.0);
 }
@@ -210,7 +210,7 @@ TEST(Path, DeepBuffersLoseRarely) {
   int loss_ticks = 0;
   const double bytes = 120e9 / 8 * 0.063;
   for (int i = 0; i < 1000; ++i) {
-    if (p.transit(bytes, 0.063, true, 1.05, rng).dropped_bytes > 0) ++loss_ticks;
+    if (p.transit(units::Bytes(bytes), 0.063, true, 1.05, rng).dropped_bytes > 0) ++loss_ticks;
   }
   EXPECT_GT(loss_ticks, 0);
   EXPECT_LT(loss_ticks, 150);  // rare events, not per-tick certainty
@@ -222,7 +222,7 @@ TEST(Path, BurstToleranceCutsUnpacedTails) {
   spec.burst_tolerance_bps = 135e9;
   Path p(spec);
   Rng rng(1);
-  const auto o = p.transit(160e9 / 8 * 0.063, 0.063, false, 1.0, rng);
+  const auto o = p.transit(units::Bytes(160e9 / 8 * 0.063), 0.063, false, 1.0, rng);
   EXPECT_GT(o.dropped_bytes, 0.0);
 }
 
@@ -247,7 +247,7 @@ TEST(Path, StrayLossEventsFire) {
   Rng rng(9);
   double dropped = 0;
   for (int i = 0; i < 1000; ++i) {
-    dropped += p.transit(10e9 / 8 * 0.063, 0.063, true, 1.05, rng).dropped_bytes;
+    dropped += p.transit(units::Bytes(10e9 / 8 * 0.063), 0.063, true, 1.05, rng).dropped_bytes;
   }
   EXPECT_GT(dropped, 0.0);
 }

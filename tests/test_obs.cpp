@@ -359,9 +359,9 @@ harness::TestResult fig9_run(double optmem_bytes) {
   return Experiment(tb)
       .path("WAN 104ms")
       .zerocopy()
-      .pacing_gbps(50)
-      .optmem_max(optmem_bytes)
-      .duration_sec(12)
+      .pacing(units::Rate::from_gbps(50))
+      .optmem_max(units::Bytes(optmem_bytes))
+      .duration(units::SimTime::from_seconds(12))
       .repeats(1)
       .telemetry(true)
       .run();
@@ -418,7 +418,7 @@ TEST(TelemetryEndToEnd, MergedCsvHasTestAndRepeatColumns) {
 
 TEST(TelemetryEndToEnd, DisabledTelemetryLeavesResultEmpty) {
   const auto tb = harness::amlight(kern::KernelVersion::V6_5);
-  const auto res = Experiment(tb).path("LAN").duration_sec(2).repeats(1).run();
+  const auto res = Experiment(tb).path("LAN").duration(units::SimTime::from_seconds(2)).repeats(1).run();
   EXPECT_TRUE(res.repeat_series.empty());
   EXPECT_EQ(res.trace, nullptr);
 }

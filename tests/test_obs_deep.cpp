@@ -63,7 +63,7 @@ flow::PacketSimConfig packet_cfg() {
   cfg.sender = tb.sender;
   cfg.receiver = tb.receiver;
   cfg.path = tb.lan();
-  cfg.duration = units::millis(20);
+  cfg.duration = units::SimTime::from_millis(20);
   cfg.pacing_bps = units::gbps(10);
   cfg.window_bytes = 64e6;
   return cfg;
@@ -157,7 +157,7 @@ TEST(PacketSimTelemetry, SharesRegistryWithFluidRun) {
   fcfg.path = tb.lan();
   fcfg.streams = 1;
   fcfg.flow.fq_rate_bps = units::gbps(10);
-  fcfg.duration = units::seconds(2);
+  fcfg.duration = units::SimTime::from_seconds(2);
   fcfg.telemetry = &tel;
   flow::run_transfer(fcfg);
 
@@ -174,7 +174,8 @@ TEST(PacketSimTelemetry, SharesRegistryWithFluidRun) {
   EXPECT_NE(series.column_index("pkt.goodput_bps"), static_cast<std::size_t>(-1));
   for (const auto& row : series.rows) EXPECT_EQ(row.size(), series.columns.size());
 
-  const auto rep = flow::divergence_report("shared", reg, 2.0, 0.02);
+  const auto rep = flow::divergence_report("shared", reg, units::SimTime::from_seconds(2.0),
+                                          units::SimTime::from_seconds(0.02));
   ASSERT_EQ(rep.entries.size(), 3u);
   const auto* bps = rep.find("achieved_bps");
   ASSERT_NE(bps, nullptr);
@@ -267,7 +268,7 @@ TEST(PerFlowTracks, LabeledColumnsAreDeterministic) {
     cfg.receiver = tb.receiver;
     cfg.path = tb.lan();
     cfg.streams = 4;
-    cfg.duration = units::seconds(3);
+    cfg.duration = units::SimTime::from_seconds(3);
     cfg.seed = 42;
     cfg.telemetry = tel.get();
     flow::run_transfer(cfg);
@@ -352,7 +353,7 @@ TEST(MetricsCsvGolden, HeaderMatchesCheckedInGolden) {
   cfg.path = tb.path_named("production 63ms");
   cfg.streams = 8;
   cfg.flow.fq_rate_bps = units::gbps(10);
-  cfg.duration = units::seconds(2);
+  cfg.duration = units::SimTime::from_seconds(2);
   cfg.telemetry = &tel;
   flow::run_transfer(cfg);
 

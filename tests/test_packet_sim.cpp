@@ -14,7 +14,7 @@ PacketSimConfig base_cfg() {
   cfg.sender = tb.sender;
   cfg.receiver = tb.receiver;
   cfg.path = tb.lan();
-  cfg.duration = units::millis(20);
+  cfg.duration = units::SimTime::from_millis(20);
   return cfg;
 }
 
@@ -53,7 +53,7 @@ TEST(PacketSim, WindowLimitsThroughputOnWan) {
   auto cfg = base_cfg();
   cfg.path = harness::amlight_wan(25);
   cfg.window_bytes = 4e6;                // 4 MB over 25 ms ~= 1.28 Gbps
-  cfg.duration = units::millis(500);     // >> RTT so edge effects wash out
+  cfg.duration = units::SimTime::from_millis(500);     // >> RTT so edge effects wash out
   const auto r = run_packet_sim(cfg);
   EXPECT_NEAR(units::to_gbps(r.achieved_bps), 1.28, 0.2);
 }

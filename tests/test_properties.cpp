@@ -14,7 +14,7 @@ flow::TransferConfig base_config(const harness::Testbed& tb, const net::PathSpec
   cfg.sender = tb.sender;
   cfg.receiver = tb.receiver;
   cfg.path = path;
-  cfg.duration = units::seconds(8);
+  cfg.duration = units::SimTime::from_seconds(8);
   cfg.seed = 17;
   return cfg;
 }
@@ -120,9 +120,9 @@ TEST_P(OptmemMonotonic, MoreOptmemNeverWorse) {
     const auto r = Experiment(harness::amlight())
                        .path("WAN " + std::to_string(rtt_ms) + "ms")
                        .zerocopy()
-                       .pacing_gbps(50)
-                       .optmem_max(om)
-                       .duration_sec(10)
+                       .pacing(units::Rate::from_gbps(50))
+                       .optmem_max(units::Bytes(om))
+                       .duration(units::SimTime::from_seconds(10))
                        .repeats(2)
                        .run();
     EXPECT_GE(r.avg_gbps, prev_tput - 1.5) << "optmem " << om;
@@ -146,8 +146,8 @@ TEST_P(KernelMonotonic, NewerKernelNeverSlower) {
   for (const auto k :
        {kern::KernelVersion::V5_15, kern::KernelVersion::V6_5, kern::KernelVersion::V6_8}) {
     auto e = Experiment(esnet_tb ? harness::esnet(k) : harness::amlight(k));
-    if (paced) e.pacing_gbps(30);
-    const auto r = e.duration_sec(10).repeats(2).run();
+    if (paced) e.pacing(units::Rate::from_gbps(30));
+    const auto r = e.duration(units::SimTime::from_seconds(10)).repeats(2).run();
     EXPECT_GE(r.avg_gbps, prev - 0.8) << kern::kernel_version_name(k);
     prev = r.avg_gbps;
   }
@@ -164,9 +164,9 @@ class MtuSweep : public ::testing::TestWithParam<bool> {};
 TEST_P(MtuSweep, JumboFramesWin) {
   const bool zc = GetParam();
   const auto jumbo =
-      Experiment(harness::esnet()).zerocopy(zc).mtu(9000).duration_sec(8).repeats(2).run();
+      Experiment(harness::esnet()).zerocopy(zc).mtu(units::Bytes(9000)).duration(units::SimTime::from_seconds(8)).repeats(2).run();
   const auto std_mtu =
-      Experiment(harness::esnet()).zerocopy(zc).mtu(1500).duration_sec(8).repeats(2).run();
+      Experiment(harness::esnet()).zerocopy(zc).mtu(units::Bytes(1500)).duration(units::SimTime::from_seconds(8)).repeats(2).run();
   EXPECT_GT(jumbo.avg_gbps, std_mtu.avg_gbps);
 }
 
@@ -184,8 +184,8 @@ TEST_P(CcSweep, ComparableToReferenceCubic) {
                      .path("WAN 63ms")
                      .congestion(algo)
                      .zerocopy()
-                     .pacing_gbps(30)
-                     .duration_sec(15)
+                     .pacing(units::Rate::from_gbps(30))
+                     .duration(units::SimTime::from_seconds(15))
                      .repeats(2)
                      .run();
   EXPECT_GT(r.avg_gbps, 15.0);

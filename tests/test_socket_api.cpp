@@ -12,23 +12,23 @@ SimSocket make_socket(double optmem = 1048576.0, QdiscKind qdisc = QdiscKind::Fq
   SysctlConfig s = SysctlConfig::fasterdata_tuned();
   s.optmem_max = optmem;
   s.default_qdisc = qdisc;
-  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, 0);
-  return SimSocket(s, caps, 9000.0);
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, units::Bytes(0));
+  return SimSocket(s, caps, units::Bytes(9000.0));
 }
 
 TEST(SimSocket, ZerocopyWithoutSetsockoptIsEinval) {
   auto sock = make_socket();
-  const auto res = sock.send(65536.0, MSG_ZEROCOPY_FLAG);
+  const auto res = sock.send(units::Bytes(65536.0), MSG_ZEROCOPY_FLAG);
   EXPECT_EQ(res.err, SockErr::EInval);
   EXPECT_DOUBLE_EQ(res.bytes_queued, 0.0);
   // Plain send still works.
-  EXPECT_EQ(sock.send(65536.0, 0).err, SockErr::Ok);
+  EXPECT_EQ(sock.send(units::Bytes(65536.0), 0).err, SockErr::Ok);
 }
 
 TEST(SimSocket, ZerocopySendChargesOptmem) {
   auto sock = make_socket();
   sock.set_zerocopy(true);
-  const auto res = sock.send(10 * 65536.0, MSG_ZEROCOPY_FLAG);
+  const auto res = sock.send(units::Bytes(10 * 65536.0), MSG_ZEROCOPY_FLAG);
   EXPECT_EQ(res.err, SockErr::Ok);
   EXPECT_GT(res.zc_bytes, 0.0);
   EXPECT_GT(sock.optmem_used(), 0.0);
@@ -37,7 +37,7 @@ TEST(SimSocket, ZerocopySendChargesOptmem) {
 TEST(SimSocket, SilentFallbackWhenOptmemTiny) {
   auto sock = make_socket(/*optmem=*/20480.0);
   sock.set_zerocopy(true);
-  const auto res = sock.send(100e6, MSG_ZEROCOPY_FLAG);
+  const auto res = sock.send(units::Bytes(100e6), MSG_ZEROCOPY_FLAG);
   EXPECT_EQ(res.err, SockErr::Ok);  // Linux does NOT fail: it copies
   EXPECT_GT(res.fallback_bytes, 0.0);
   EXPECT_NEAR(res.zc_bytes + res.fallback_bytes, res.bytes_queued, 1e-6);
@@ -45,26 +45,26 @@ TEST(SimSocket, SilentFallbackWhenOptmemTiny) {
 
 TEST(SimSocket, WmemLimitsQueueing) {
   SysctlConfig s = SysctlConfig::linux_defaults();  // 4 MB wmem max
-  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, 0);
-  SimSocket sock(s, caps, 9000.0);
-  const auto first = sock.send(100e6, 0);
+  const auto caps = skb_caps(kernel_profile(KernelVersion::V6_8), false, units::Bytes(0));
+  SimSocket sock(s, caps, units::Bytes(9000.0));
+  const auto first = sock.send(units::Bytes(100e6), 0);
   EXPECT_EQ(first.err, SockErr::Ok);
   EXPECT_NEAR(first.bytes_queued, s.max_send_window_bytes(), 1.0);
-  const auto second = sock.send(1.0, 0);
+  const auto second = sock.send(units::Bytes(1.0), 0);
   EXPECT_EQ(second.err, SockErr::EAgain);
   // ACKs free wmem again.
-  sock.on_acked(first.bytes_queued);
-  EXPECT_EQ(sock.send(1.0, 0).err, SockErr::Ok);
+  sock.on_acked(units::Bytes(first.bytes_queued));
+  EXPECT_EQ(sock.send(units::Bytes(1.0), 0).err, SockErr::Ok);
 }
 
 TEST(SimSocket, CompletionsArriveOnErrorQueueInOrder) {
   auto sock = make_socket();
   sock.set_zerocopy(true);
   const double chunk = 65536.0;
-  for (int i = 0; i < 3; ++i) sock.send(chunk, MSG_ZEROCOPY_FLAG);
+  for (int i = 0; i < 3; ++i) sock.send(units::Bytes(chunk), MSG_ZEROCOPY_FLAG);
   EXPECT_FALSE(sock.read_error_queue().has_value());  // nothing ACKed yet
 
-  sock.on_acked(3 * chunk);
+  sock.on_acked(units::Bytes(3 * chunk));
   const auto c = sock.read_error_queue();
   ASSERT_TRUE(c.has_value());
   // Contiguous same-kind ranges coalesce: one notification covering 0..2.
@@ -77,10 +77,10 @@ TEST(SimSocket, CompletionsArriveOnErrorQueueInOrder) {
 TEST(SimSocket, CopiedRangesFlaggedSeparately) {
   auto sock = make_socket(/*optmem=*/320.0);  // two super-packets' worth
   sock.set_zerocopy(true);
-  sock.send(65536.0, MSG_ZEROCOPY_FLAG);   // zerocopy
-  sock.send(65536.0, MSG_ZEROCOPY_FLAG);   // zerocopy (second charge)
-  sock.send(65536.0, MSG_ZEROCOPY_FLAG);   // optmem gone: falls back
-  sock.on_acked(3 * 65536.0);
+  sock.send(units::Bytes(65536.0), MSG_ZEROCOPY_FLAG);   // zerocopy
+  sock.send(units::Bytes(65536.0), MSG_ZEROCOPY_FLAG);   // zerocopy (second charge)
+  sock.send(units::Bytes(65536.0), MSG_ZEROCOPY_FLAG);   // optmem gone: falls back
+  sock.on_acked(units::Bytes(3 * 65536.0));
   const auto first = sock.read_error_queue();
   ASSERT_TRUE(first.has_value());
   EXPECT_FALSE(first->copied);
@@ -94,40 +94,40 @@ TEST(SimSocket, CopiedRangesFlaggedSeparately) {
 TEST(SimSocket, PartialAckSplitsRange) {
   auto sock = make_socket();
   sock.set_zerocopy(true);
-  sock.send(65536.0, MSG_ZEROCOPY_FLAG);
-  sock.on_acked(30000.0);  // less than the first range
+  sock.send(units::Bytes(65536.0), MSG_ZEROCOPY_FLAG);
+  sock.on_acked(units::Bytes(30000.0));  // less than the first range
   EXPECT_FALSE(sock.read_error_queue().has_value());
-  sock.on_acked(35536.0);
+  sock.on_acked(units::Bytes(35536.0));
   EXPECT_TRUE(sock.read_error_queue().has_value());
 }
 
 TEST(SimSocket, MsgTruncDiscardsWithoutCopy) {
   auto sock = make_socket();
-  sock.deliver(1e6);
-  const double got = sock.recv(4e5, MSG_TRUNC_FLAG);
+  sock.deliver(units::Bytes(1e6));
+  const double got = sock.recv(units::Bytes(4e5), MSG_TRUNC_FLAG);
   EXPECT_DOUBLE_EQ(got, 4e5);
   EXPECT_DOUBLE_EQ(sock.bytes_truncated(), 4e5);
   EXPECT_DOUBLE_EQ(sock.bytes_copied_to_user(), 0.0);
   // A normal recv copies.
-  sock.recv(6e5, 0);
+  sock.recv(units::Bytes(6e5), 0);
   EXPECT_DOUBLE_EQ(sock.bytes_copied_to_user(), 6e5);
   EXPECT_DOUBLE_EQ(sock.rx_queue_bytes(), 0.0);
 }
 
 TEST(SimSocket, PacingRateNeedsFq) {
   auto fq_sock = make_socket(1048576.0, QdiscKind::Fq);
-  fq_sock.set_max_pacing_rate(50e9);
+  fq_sock.set_max_pacing_rate(units::Rate::from_bps(50e9));
   EXPECT_DOUBLE_EQ(fq_sock.effective_pacing_bps(), 50e9);
 
   auto codel_sock = make_socket(1048576.0, QdiscKind::FqCodel);
-  codel_sock.set_max_pacing_rate(50e9);
+  codel_sock.set_max_pacing_rate(units::Rate::from_bps(50e9));
   EXPECT_DOUBLE_EQ(codel_sock.effective_pacing_bps(), 0.0);  // inert
 }
 
 TEST(SimSocket, SendCallCounterAdvances) {
   auto sock = make_socket();
   sock.set_zerocopy(true);
-  for (int i = 0; i < 5; ++i) sock.send(1000.0, i % 2 ? MSG_ZEROCOPY_FLAG : 0);
+  for (int i = 0; i < 5; ++i) sock.send(units::Bytes(1000.0), i % 2 ? MSG_ZEROCOPY_FLAG : 0);
   EXPECT_EQ(sock.send_calls(), 5u);
 }
 

@@ -10,8 +10,8 @@ namespace {
 constexpr double kGso = 65536.0;
 
 TEST(ZcSocket, FullZcWhenOptmemAmple) {
-  ZcTxSocket s(1048576.0);
-  const auto plan = s.plan_send(10 * kGso, kGso);
+  ZcTxSocket s{units::Bytes(1048576.0)};
+  const auto plan = s.plan_send(units::Bytes(10 * kGso), units::Bytes(kGso));
   EXPECT_DOUBLE_EQ(plan.zc_bytes, 10 * kGso);
   EXPECT_DOUBLE_EQ(plan.fallback_bytes, 0.0);
   EXPECT_DOUBLE_EQ(s.optmem_used(), 10 * kZcChargePerSuperPkt);
@@ -19,51 +19,51 @@ TEST(ZcSocket, FullZcWhenOptmemAmple) {
 
 TEST(ZcSocket, FallbackWhenOptmemExhausted) {
   // Default optmem (20 KiB) covers 128 in-flight super-packets = 8 MiB.
-  ZcTxSocket s(20480.0);
+  ZcTxSocket s{units::Bytes(20480.0)};
   const double window = 100e6;  // a WAN window
-  const auto plan = s.plan_send(window, kGso);
+  const auto plan = s.plan_send(units::Bytes(window), units::Bytes(kGso));
   EXPECT_NEAR(plan.zc_bytes, 20480.0 / kZcChargePerSuperPkt * kGso, 1.0);
   EXPECT_NEAR(plan.fallback_bytes, window - plan.zc_bytes, 1.0);
   EXPECT_NEAR(s.optmem_available(), 0.0, 1e-6);
 }
 
 TEST(ZcSocket, AckReleasesChargesFifo) {
-  ZcTxSocket s(1048576.0);
-  s.plan_send(2 * kGso, kGso);  // two separate sends -> two chunks
-  s.plan_send(2 * kGso, kGso);
+  ZcTxSocket s{units::Bytes(1048576.0)};
+  s.plan_send(units::Bytes(2 * kGso), units::Bytes(kGso));  // two separate sends -> two chunks
+  s.plan_send(units::Bytes(2 * kGso), units::Bytes(kGso));
   const double used = s.optmem_used();
-  s.on_acked(2 * kGso);
+  s.on_acked(units::Bytes(2 * kGso));
   EXPECT_NEAR(s.optmem_used(), used / 2, 1e-6);
   EXPECT_EQ(s.completions(), 1u);  // first chunk fully released
-  s.on_acked(2 * kGso);
+  s.on_acked(units::Bytes(2 * kGso));
   EXPECT_NEAR(s.optmem_used(), 0.0, 1e-6);
   EXPECT_EQ(s.completions(), 2u);
 }
 
 TEST(ZcSocket, PartialAckSplitsChunk) {
-  ZcTxSocket s(1048576.0);
-  s.plan_send(kGso, kGso);
-  s.on_acked(kGso / 4);
+  ZcTxSocket s{units::Bytes(1048576.0)};
+  s.plan_send(units::Bytes(kGso), units::Bytes(kGso));
+  s.on_acked(units::Bytes(kGso / 4));
   EXPECT_NEAR(s.inflight_zc_bytes(), kGso * 0.75, 1.0);
   EXPECT_NEAR(s.optmem_used(), kZcChargePerSuperPkt * 0.75, 1e-6);
 }
 
 TEST(ZcSocket, OverAckIsSafe) {
-  ZcTxSocket s(1048576.0);
-  s.plan_send(kGso, kGso);
-  s.on_acked(100 * kGso);  // ACK covers copied bytes too
+  ZcTxSocket s{units::Bytes(1048576.0)};
+  s.plan_send(units::Bytes(kGso), units::Bytes(kGso));
+  s.on_acked(units::Bytes(100 * kGso));  // ACK covers copied bytes too
   EXPECT_DOUBLE_EQ(s.optmem_used(), 0.0);
   EXPECT_DOUBLE_EQ(s.inflight_zc_bytes(), 0.0);
 }
 
 TEST(ZcSocket, PreviewDoesNotCharge) {
-  ZcTxSocket s(20480.0);
-  const auto p1 = s.preview_send(100e6, kGso);
-  const auto p2 = s.preview_send(100e6, kGso);
+  ZcTxSocket s{units::Bytes(20480.0)};
+  const auto p1 = s.preview_send(units::Bytes(100e6), units::Bytes(kGso));
+  const auto p2 = s.preview_send(units::Bytes(100e6), units::Bytes(kGso));
   EXPECT_DOUBLE_EQ(p1.zc_bytes, p2.zc_bytes);
   EXPECT_DOUBLE_EQ(s.optmem_used(), 0.0);
   // Committing matches the preview.
-  const auto real = s.plan_send(100e6, kGso);
+  const auto real = s.plan_send(units::Bytes(100e6), units::Bytes(kGso));
   EXPECT_DOUBLE_EQ(real.zc_bytes, p1.zc_bytes);
 }
 
@@ -71,13 +71,13 @@ TEST(ZcSocket, SteadyStateWindowEqualsOptmemDerivedLimit) {
   // One-RTT pipeline (as the transfer engine runs it): charge a round's
   // sends, then the round's ACKs release them. The sustained zerocopy bytes
   // per round converge to optmem_max / charge * gso — the Fig. 9 mechanism.
-  ZcTxSocket s(1048576.0);
+  ZcTxSocket s{units::Bytes(1048576.0)};
   const double round = 500e6;  // demand far above the limit
   double zc_round = 0;
   for (int i = 0; i < 20; ++i) {
-    const auto plan = s.plan_send(round, kGso);
+    const auto plan = s.plan_send(units::Bytes(round), units::Bytes(kGso));
     zc_round = plan.zc_bytes;
-    s.on_acked(round);  // the whole round (zc + copied) is ACKed within an RTT
+    s.on_acked(units::Bytes(round));  // the whole round (zc + copied) is ACKed within an RTT
   }
   const double expected_window = 1048576.0 / kZcChargePerSuperPkt * kGso;  // ~429 MB
   EXPECT_NEAR(zc_round, expected_window, expected_window * 0.01);
@@ -88,24 +88,24 @@ TEST(ZcSocket, SteadyStateWindowEqualsOptmemDerivedLimit) {
 
 TEST(ZcSocket, BiggerOptmemBiggerWindow) {
   for (const double optmem : {20480.0, 1048576.0, 3405376.0}) {
-    ZcTxSocket s(optmem);
-    const auto plan = s.plan_send(2e9, kGso);
+    ZcTxSocket s{units::Bytes(optmem)};
+    const auto plan = s.plan_send(units::Bytes(2e9), units::Bytes(kGso));
     EXPECT_NEAR(plan.zc_bytes, optmem / kZcChargePerSuperPkt * kGso,
                 plan.zc_bytes * 0.01 + 1.0);
   }
 }
 
 TEST(ZcSocket, ResetClearsState) {
-  ZcTxSocket s(1048576.0);
-  s.plan_send(10 * kGso, kGso);
+  ZcTxSocket s{units::Bytes(1048576.0)};
+  s.plan_send(units::Bytes(10 * kGso), units::Bytes(kGso));
   s.reset();
   EXPECT_DOUBLE_EQ(s.optmem_used(), 0.0);
   EXPECT_DOUBLE_EQ(s.inflight_zc_bytes(), 0.0);
 }
 
 TEST(ZcSocket, LifetimeCountersAccumulate) {
-  ZcTxSocket s(20480.0);
-  s.plan_send(100e6, kGso);
+  ZcTxSocket s{units::Bytes(20480.0)};
+  s.plan_send(units::Bytes(100e6), units::Bytes(kGso));
   EXPECT_GT(s.total_zc_bytes(), 0.0);
   EXPECT_GT(s.total_fallback_bytes(), 0.0);
   EXPECT_NEAR(s.total_zc_bytes() + s.total_fallback_bytes(), 100e6, 1.0);
@@ -117,17 +117,17 @@ TEST(ZcSocketProperty, RandomInterleavingsStayConsistent) {
   Rng rng(2024);
   for (int trial = 0; trial < 50; ++trial) {
     const double optmem = rng.uniform(4096.0, 4e6);
-    ZcTxSocket s(optmem);
+    ZcTxSocket s{units::Bytes(optmem)};
     double inflight = 0.0;
     for (int step = 0; step < 200; ++step) {
       if (rng.bernoulli(0.6)) {
         const double bytes = rng.uniform(1.0, 50e6);
-        const auto plan = s.plan_send(bytes, kGso);
+        const auto plan = s.plan_send(units::Bytes(bytes), units::Bytes(kGso));
         EXPECT_NEAR(plan.zc_bytes + plan.fallback_bytes, bytes, 1e-6);
         inflight += plan.zc_bytes;
       } else {
         const double ack = rng.uniform(0.0, inflight * 1.5 + 1.0);
-        s.on_acked(ack);
+        s.on_acked(units::Bytes(ack));
         inflight = std::max(inflight - ack, 0.0);
       }
       EXPECT_GE(s.optmem_used(), -1e-6);
