@@ -22,6 +22,7 @@
 //   --quick              1 repeat x 5 s (CI smoke; shape only)
 //   --probe-interval S   sampling cadence in seconds (default 1)
 //   --metrics-out F      merged per-repeat interval series -> CSV
+//   --ss-out F           end-of-run dtnsim-ss snapshot per pacing config
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   double probe_interval_sec = 1.0;
   std::string metrics_out;
+  std::string ss_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -44,6 +46,8 @@ int main(int argc, char** argv) {
       probe_interval_sec = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--ss-out") == 0 && i + 1 < argc) {
+      ss_out = argv[++i];
     } else if (std::strcmp(argv[i], "--jobs") == 0 || std::strcmp(argv[i], "--cache") == 0) {
       ++i;  // consumed by parse_bench_campaign_flags
     } else {
@@ -64,6 +68,7 @@ int main(int argc, char** argv) {
   grid.repeats = quick ? 1 : 10;
   grid.telemetry.enabled = true;
   grid.telemetry.probe_interval = units::seconds(probe_interval_sec);
+  if (!ss_out.empty()) grid.telemetry.ss_enabled = true;
 
   print_header("Table III", "ESnet production DTNs, with 802.3x flow control (63 ms)",
                strfmt("8 streams, pacing {unpaced, 15, 12, 10} G/flow, %.0f s x %d",
@@ -117,6 +122,21 @@ int main(int argc, char** argv) {
     }
     std::printf("interval metrics (incl. per-flow tcp.cwnd_bytes{flow=N} tracks): %s\n\n",
                 metrics_out.c_str());
+  }
+
+  if (!ss_out.empty()) {
+    std::vector<obs::SsReport> ss_log;
+    for (std::size_t i = 0; i < pacing.size(); ++i) {
+      for (auto rep : report.cells[i].result.ss_log) {
+        rep.label = pacing[i] > 0 ? strfmt("%.0fG/stream", pacing[i]) : "unpaced";
+        ss_log.push_back(std::move(rep));
+      }
+    }
+    if (!obs::write_ss_log(ss_out, ss_log)) {
+      std::fprintf(stderr, "cannot write %s\n", ss_out.c_str());
+      return 1;
+    }
+    std::printf("dtnsim-ss snapshots (8 sockets per config): %s\n\n", ss_out.c_str());
   }
 
   // Verdict: the paper's ordering claim — deeper pacing never widens the

@@ -56,7 +56,8 @@ bool needs_value(const std::string& flag) {
          flag == "--testbed" || flag == "--path" || flag == "--kernel" ||
          flag == "--optmem" || flag == "--ring" || flag == "--repeats" ||
          flag == "--seed" || flag == "--jobs" || flag == "--probe-interval" ||
-         flag == "--metrics-out" || flag == "--trace-out" || flag == "--trace-stream";
+         flag == "--metrics-out" || flag == "--trace-out" || flag == "--trace-stream" ||
+         flag == "--ss-watch" || flag == "--ss-out";
 }
 
 }  // namespace
@@ -192,6 +193,14 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       o.trace_out = value;
     } else if (flag == "--trace-stream") {
       o.trace_stream = value;
+    } else if (flag == "--ss-watch") {
+      o.ss_watch_sec = std::atof(value.c_str());
+      if (o.ss_watch_sec <= 0) {
+        o.error = "ss watch interval must be positive";
+        return o;
+      }
+    } else if (flag == "--ss-out") {
+      o.ss_out = value;
     } else {
       o.error = "unknown flag: " + flag;
       return o;
@@ -228,7 +237,10 @@ std::string cli_help() {
       "      --metrics-out F    write per-interval metric series as CSV\n"
       "      --trace-out F      write chrome://tracing / Perfetto JSON trace\n"
       "      --trace-stream F   stream every trace event to F as it happens\n"
-      "                         (no ring-capacity ceiling; first repeat only)\n";
+      "                         (no ring-capacity ceiling; first repeat only)\n"
+      "      --ss-watch SEC     ss/ethtool/tc snapshots every SEC of sim time\n"
+      "      --ss-out F         write the snapshot log as JSON (dtnsim-ss\n"
+      "                         --replay reads it back)\n";
 }
 
 harness::TestSpec spec_from_cli(const CliOptions& opts) {
@@ -247,11 +259,19 @@ harness::TestSpec spec_from_cli(const CliOptions& opts) {
     }
     if (opts.ring > 0) h->tuning.ring_descriptors = opts.ring;
   }
+  const bool wants_ss =
+      opts.force_ss || opts.ss_watch_sec > 0 || !opts.ss_out.empty();
   if (!opts.metrics_out.empty() || !opts.trace_out.empty() ||
-      !opts.trace_stream.empty()) {
+      !opts.trace_stream.empty() || wants_ss) {
     spec.telemetry.enabled = true;
     spec.telemetry.probe_interval = units::seconds(opts.probe_interval_sec);
     spec.telemetry.trace_stream_path = opts.trace_stream;
+  }
+  if (wants_ss) {
+    spec.telemetry.ss_enabled = true;
+    if (opts.ss_watch_sec > 0) {
+      spec.telemetry.ss_interval = units::seconds(opts.ss_watch_sec);
+    }
   }
   return spec;
 }
@@ -296,6 +316,15 @@ int run_cli(const CliOptions& opts, std::string& output) {
   }
   if (!opts.trace_stream.empty()) {
     telemetry_note += strfmt("  stream     : %s\n", opts.trace_stream.c_str());
+  }
+  if (!opts.ss_out.empty()) {
+    if (!obs::write_ss_log(opts.ss_out, result.ss_log)) {
+      output = strfmt("error: cannot write ss log to %s\n", opts.ss_out.c_str());
+      return 1;
+    }
+    telemetry_note += strfmt("  ss log     : %s (%zu snapshot%s)\n",
+                             opts.ss_out.c_str(), result.ss_log.size(),
+                             result.ss_log.size() == 1 ? "" : "s");
   }
 
   if (opts.iperf.json) {

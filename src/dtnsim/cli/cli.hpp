@@ -25,6 +25,8 @@
 //   --metrics-out PATH      per-interval metric series -> CSV
 //   --trace-out PATH        chrome://tracing / Perfetto trace_event JSON
 //   --trace-stream PATH     stream events to PATH as recorded (no capacity cap)
+//   --ss-watch SEC          kernel-eye ss/ethtool/tc snapshots every SEC
+//   --ss-out PATH           snapshot log -> JSON (dtnsim-ss --replay input)
 // Long flags also accept --flag=value.
 #pragma once
 
@@ -66,6 +68,12 @@ struct CliOptions {
   std::string metrics_out;    // "" -> no CSV series written
   std::string trace_out;      // "" -> no chrome trace written
   std::string trace_stream;   // "" -> no streamed trace (see StreamingTraceSink)
+  // Kernel-eye snapshots (dtnsim-ss): watch cadence in simulated seconds
+  // (0 = end-of-run snapshot only) and the JSON log destination. Either
+  // flag — or force_ss (the dtnsim-ss front end) — enables snapshotting.
+  double ss_watch_sec = 0.0;
+  std::string ss_out;
+  bool force_ss = false;
 };
 
 CliOptions parse_cli(const std::vector<std::string>& args);

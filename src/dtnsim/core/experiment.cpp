@@ -119,6 +119,18 @@ Experiment& Experiment::telemetry(bool on) {
   return *this;
 }
 
+Experiment& Experiment::ss(bool on) {
+  telemetry_.ss_enabled = on;
+  if (on) telemetry_.enabled = true;
+  return *this;
+}
+
+Experiment& Experiment::ss_watch(units::SimTime interval) {
+  ss(true);
+  telemetry_.ss_interval = interval.nanos();
+  return *this;
+}
+
 harness::TestSpec Experiment::spec() const {
   harness::TestSpec s = harness::TestSpec::on(testbed_, path_name_, iperf_, label_);
   s.repeats = repeats_;

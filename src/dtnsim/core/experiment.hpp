@@ -36,6 +36,12 @@ class Experiment {
   // series/trace land on the TestResult (see obs/telemetry.hpp).
   Experiment& telemetry(obs::TelemetryConfig cfg);
   Experiment& telemetry(bool on = true);
+  // Kernel-eye snapshots (`dtnsim-ss`): record an end-of-run tcp_info/NIC/
+  // qdisc report on repeat 0. Implies telemetry(true).
+  Experiment& ss(bool on = true);
+  // Periodic snapshots every `interval` of simulated time plus the final
+  // one — `dtnsim-ss --watch`. Implies ss(true).
+  Experiment& ss_watch(units::SimTime interval);
 
   // The spec this builder will run (inspectable before running).
   harness::TestSpec spec() const;

@@ -57,6 +57,7 @@ struct SimState {
   int ring_used = 0;
   bool napi_busy = false;
   Nanos last_departure = -1;
+  double rx_accepted_segments = 0.0;  // segments that made it into the ring
 
   // Results.
   PacketSimResult res;
@@ -162,6 +163,7 @@ void on_arrival(SimState& s, int segments) {
     }
     s.ring_used += 1;
   }
+  s.rx_accepted_segments += static_cast<double>(segments - dropped);
   s.res.ring_peak = std::max(s.res.ring_peak, s.ring_used);
   if (s.tel) {
     s.pkt.ring_occupancy->set(static_cast<double>(s.ring_used));
@@ -283,6 +285,64 @@ PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
                          {{"duration_ms", cfg.duration.seconds() * 1e3},
                           {"pacing_bps", cfg.pacing_bps},
                           {"window_bytes", cfg.window_bytes}});
+    if (s.tel->wants_ss()) {
+      // Kernel-eye snapshot source. Everything below only *reads* SimState;
+      // bytes_acked is s.res.delivered_bytes, the exact double the
+      // pkt.delivered_bytes counter accumulates, so the probe cross-check
+      // holds bitwise.
+      const bool hw_gro = receiver.hw_gro_active();
+      const std::string nic_model = cfg.receiver.nic.model;
+      const std::string qkind =
+          cfg.sender.tuning.sysctl.default_qdisc == kern::QdiscKind::Fq
+              ? "fq"
+              : "fq_codel";
+      s.tel->ss().set_source([&s, hw_gro, nic_model, qkind](Nanos now) {
+        obs::SsReport r;
+        r.ts = now;
+        r.engine = "packet";
+        obs::TcpInfoSnapshot t;
+        t.flow = 0;
+        t.ca_name = "fixed-window";
+        t.in_slow_start = false;
+        t.mss_bytes = s.mss;
+        t.snd_cwnd_bytes = s.cfg->window_bytes;
+        const double rtt_sec = units::to_seconds(s.cfg->path.rtt);
+        t.rtt_sec = rtt_sec;
+        t.min_rtt_sec = rtt_sec;
+        t.pacing_rate_bps = s.cfg->pacing_bps;
+        const double sent =
+            static_cast<double>(s.res.superpackets_sent) * s.gso_bytes;
+        t.bytes_sent = sent;
+        t.bytes_acked = s.res.delivered_bytes;
+        const double sec = units::to_seconds(now);
+        t.send_rate_bps = sec > 0.0 ? units::rate_of(sent, sec) : 0.0;
+        t.delivery_rate_bps =
+            sec > 0.0 ? units::rate_of(s.res.delivered_bytes, sec) : 0.0;
+        r.sockets.push_back(std::move(t));
+        r.nic.device = nic_model;
+        r.nic.rx_bytes = s.rx_accepted_segments * s.seg_payload;
+        r.nic.rx_dropped_bytes =
+            static_cast<double>(s.res.segments_dropped) * s.seg_payload;
+        r.nic.rx_dropped_events = static_cast<double>(s.res.segments_dropped);
+        r.nic.rx_ring_hiwater_frac =
+            s.ring_capacity > 0 ? static_cast<double>(s.res.ring_peak) /
+                                      static_cast<double>(s.ring_capacity)
+                                : 0.0;
+        r.nic.hw_gro_coalesced =
+            hw_gro ? static_cast<double>(s.res.aggregates) : 0.0;
+        const auto& qc = s.qdisc->counters();
+        r.qdisc.kind = qkind;
+        r.qdisc.sent_bytes = qc.sent_bytes;
+        r.qdisc.throttled = static_cast<double>(qc.throttled);
+        r.qdisc.pacing_delay_sec = units::to_seconds(qc.pacing_delay);
+        return r;
+      });
+      if (s.tel->config().ss_interval > 0) {
+        s.tel->ss().arm(s.engine, s.tel->config().ss_interval, horizon);
+      }
+      s.tel->link_ss_cross_check();
+    }
+    // Probe armed after the ss watch: coincident samples see a fresh report.
     s.tel->probe().arm(s.engine, horizon, [&s](Nanos now) {
       const double sec = units::to_seconds(now);
       s.pkt.goodput->set(sec > 0.0 ? units::rate_of(s.res.delivered_bytes, sec) : 0.0);
@@ -298,9 +358,16 @@ PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
     s.pkt.goodput->set(
         units::rate_of(s.res.delivered_bytes, cfg.duration.seconds()));
     s.tel->trace().end("packet_run", "pkt", s.engine.now());
+    // Final ss snapshot first, then the closing probe sample — the probe's
+    // cross-check compares its delivered counter against the ss report at
+    // this same timestamp.
+    if (s.tel->wants_ss()) s.tel->ss().final_sample(s.engine.now());
     // Closing sample: the default 1 s cadence never fires inside a 50 ms
     // horizon, and a shared probe table must still pick up the pkt.* columns.
     s.tel->probe().sample(s.engine.now());
+    // The snapshot lambda captures this frame's SimState; detach it before
+    // the Telemetry (which outlives this call) can sample a dead frame.
+    if (s.tel->wants_ss()) s.tel->ss().set_source(nullptr);
   }
 
   s.res.achieved_bps =

@@ -150,6 +150,24 @@ void TransferSimulation::setup_telemetry(sim::Engine& engine) {
   in.optmem_max->set(cfg_.sender.tuning.sysctl.optmem_max);
   in.flow0_slow_start = flows_[0].cc->in_slow_start();
 
+  if (tel_->wants_ss()) {
+    in.ss = std::make_unique<Instruments::SsAccum>();
+    const std::size_t n = flows_.size();
+    in.ss->bytes_sent.assign(n, 0.0);
+    in.ss->send_bps.assign(n, 0.0);
+    in.ss->delivery_bps.assign(n, 0.0);
+    in.ss->notsent_bytes.assign(n, 0.0);
+    in.ss->optmem_inflight.assign(n, 0.0);
+    tel_->ss().set_source([this](Nanos now) { return build_ss_report(now); });
+    // Armed before the probe: at coincident timestamps the ss sample lands
+    // first, so the probe's cross-check compares against this instant's
+    // report rather than a stale one.
+    if (tel_->config().ss_interval > 0) {
+      tel_->ss().arm(engine, tel_->config().ss_interval, cfg_.duration.nanos());
+    }
+    tel_->link_ss_cross_check();
+  }
+
   tel_->trace().begin("transfer", "run", engine.now());
   tel_->probe().arm(engine, cfg_.duration.nanos());
 }
@@ -180,6 +198,13 @@ TransferResult TransferSimulation::run() {
   // Probe events land after the round tick at coincident timestamps.
   setup_telemetry(engine);
   engine.run();
+  if (tel_ && tel_->wants_ss()) {
+    // Guarantee an end-of-run snapshot (skipped if a watch sample already
+    // landed at the horizon), then detach the source: the bound lambda reads
+    // `this` and the Telemetry outlives this call.
+    tel_->ss().final_sample(engine.now());
+    tel_->ss().set_source(nullptr);
+  }
   if (tel_) tel_->trace().end("transfer", "run", engine.now());
   log::info("transfer done: %.2f Gbps delivered, %.0f segments retransmitted",
             units::to_gbps(units::rate_of(total_delivered_,
@@ -388,6 +413,30 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
                             {{"code", static_cast<double>(cause)}});
       in->last_limit = cause;
     }
+
+    if (auto* ssa = in->ss.get()) {
+      for (std::size_t fi = 0; fi < flows_.size(); ++fi) {
+        const auto& f = flows_[fi];
+        ssa->bytes_sent[fi] += f.sent_bytes;
+        ssa->send_bps[fi] = units::rate_of(f.sent_bytes, dt_sec);
+        ssa->notsent_bytes[fi] = std::max(f.planned_bytes - f.sent_bytes, 0.0);
+        ssa->optmem_inflight[fi] = f.zc_socket.optmem_used();
+      }
+      ssa->app_limited =
+          cause == obs::RoundLimit::AppCpu || cause == obs::RoundLimit::IrqCpu;
+      ssa->qdisc_sent_bytes += group_sent;
+      if (cause == obs::RoundLimit::Pacing) {
+        // fq "throttled": pacing, not the window, gated this round. The
+        // modeled delay is the slice of the round pacing withheld from the
+        // window's demand.
+        ssa->qdisc_throttled += 1.0;
+        const double frac =
+            f0_wnd_desired > 0
+                ? std::clamp(1.0 - f0_paced_desired / f0_wnd_desired, 0.0, 1.0)
+                : 0.0;
+        ssa->qdisc_pacing_delay_sec += dt_sec * frac;
+      }
+    }
   }
 
   // ---- Path transit (aggregate) ------------------------------------------
@@ -558,6 +607,19 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
       tel_->trace().instant("pause_frames", "nic", now_ns, 0);
     }
     in->pause_active = tick_pause;
+
+    if (auto* ssa = in->ss.get()) {
+      // ethtool -S analogues, aggregated at tick grain so host-overrun drops
+      // (which bypass NicRx) are counted too.
+      ssa->rx_bytes += total_accepted;
+      ssa->rx_dropped_bytes += tick_nic_drops;
+      if (tick_nic_drops > 0) ssa->rx_dropped_events += 1.0;
+      ssa->ring_hiwater = std::max(ssa->ring_hiwater, tick_ring_occ);
+      if (tick_pause) ssa->pause_frames += 1.0;
+      if (receiver_.hw_gro_active() && gro > 0) {
+        ssa->hw_gro_aggs += total_accepted / gro;
+      }
+    }
   }
 
   // ---- Receiver app drain --------------------------------------------------
@@ -578,7 +640,10 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
       drain_min = std::min(drain_min, drain);
       drain_max = std::max(drain_max, drain);
     }
-    if (in) in->flow_goodput[fi]->set(units::rate_of(drain, dt_sec));
+    if (in) {
+      in->flow_goodput[fi]->set(units::rate_of(drain, dt_sec));
+      if (in->ss) in->ss->delivery_bps[fi] = units::rate_of(drain, dt_sec);
+    }
   }
   total_delivered_ += interval_bytes_this_tick;
 
@@ -692,6 +757,22 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
       trace.begin("round", "round", round_start, 0,
                   {{"sent_bytes", group_sent},
                    {"delivered_bytes", interval_bytes_this_tick}});
+      // Sub-round phases on track 1 — the round's burst anatomy (wire
+      // serialization, path flight, receiver drain) so a trace viewer shows
+      // where each round's wall time went.
+      const double line_bps = std::max(sender_.config().nic.line_rate_bps, 1.0);
+      Nanos tx_end =
+          round_start + static_cast<Nanos>(group_sent * 8.0 / line_bps * 1e9);
+      tx_end = std::min(tx_end, now_ns);
+      Nanos transit_end = tx_end + static_cast<Nanos>(rtt * 0.5 * 1e9);
+      transit_end = std::min(transit_end, now_ns);
+      trace.begin("tx_burst", "round", round_start, 1, {{"bytes", group_sent}});
+      trace.end("tx_burst", "round", tx_end, 1);
+      trace.begin("path_transit", "round", tx_end, 1);
+      trace.end("path_transit", "round", transit_end, 1);
+      trace.begin("rx_drain", "round", transit_end, 1,
+                  {{"delivered_bytes", interval_bytes_this_tick}});
+      trace.end("rx_drain", "round", now_ns, 1);
       trace.end("round", "round", now_ns, 0);
     }
     ++in->rounds;
@@ -705,6 +786,72 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
     interval_accum_bytes_ = 0.0;
     interval_elapsed_ = 0.0;
   }
+}
+
+obs::SsReport TransferSimulation::build_ss_report(Nanos now) const {
+  obs::SsReport r;
+  r.ts = now;
+  r.engine = "fluid";
+  const Instruments::SsAccum* ssa = instr_ ? instr_->ss.get() : nullptr;
+  const double path_rtt = std::max(path_.spec().rtt_sec(), 1e-6);
+  const double rcv_wnd_max = cfg_.receiver.tuning.sysctl.max_recv_window_bytes();
+  const double seg = mss();
+
+  for (std::size_t fi = 0; fi < flows_.size(); ++fi) {
+    const FlowState& f = flows_[fi];
+    obs::TcpInfoSnapshot s;
+    s.flow = static_cast<int>(fi);
+    s.ca_name = f.cc->name();
+    s.in_slow_start = f.cc->in_slow_start();
+    s.mss_bytes = seg;
+    s.snd_cwnd_bytes = f.cc->cwnd_bytes();
+    s.snd_ssthresh_bytes = f.cc->ssthresh_bytes();
+    s.rtt_sec = f.rtt.has_sample() ? f.rtt.srtt_sec() : path_rtt;
+    s.rttvar_sec = f.rtt.rttvar_sec();
+    s.min_rtt_sec = f.rtt.has_sample() ? f.rtt.min_rtt_sec() : path_rtt;
+    double pace = cfg_.flow.fq_rate_bps;
+    const double cc_pace = f.cc->pacing_rate_bps();
+    if (cc_pace > 0.0) pace = pace > 0.0 ? std::min(pace, cc_pace) : cc_pace;
+    s.pacing_rate_bps = pace;
+    s.bytes_acked = f.delivered_bytes;
+    s.segs_retrans = f.retransmit_segments;
+    s.bytes_retrans = f.retransmit_segments * seg;
+    s.rcv_space_bytes = std::max(rcv_wnd_max - f.rcv_backlog_bytes, 0.0);
+    if (ssa) {
+      s.bytes_sent = ssa->bytes_sent[fi];
+      s.send_rate_bps = ssa->send_bps[fi];
+      s.delivery_rate_bps = ssa->delivery_bps[fi];
+      s.notsent_bytes = ssa->notsent_bytes[fi];
+      s.delivery_rate_app_limited = ssa->app_limited;
+      s.optmem_used_bytes = ssa->optmem_inflight[fi];
+    }
+    s.optmem_max_bytes = f.zc_socket.optmem_max();
+    s.optmem_hiwater_bytes = f.zc_socket.peak_optmem_used();
+    s.zc_sent_bytes = f.zc_socket.total_zc_bytes();
+    s.zc_copied_bytes = f.zc_socket.total_fallback_bytes();
+    s.zc_copied_sends = static_cast<double>(f.zc_socket.fallback_events());
+    r.sockets.push_back(std::move(s));
+  }
+
+  r.nic.device = cfg_.receiver.nic.model;
+  r.qdisc.kind = cfg_.sender.tuning.sysctl.default_qdisc == kern::QdiscKind::Fq
+                     ? "fq"
+                     : "fq_codel";
+  if (ssa) {
+    r.nic.rx_bytes = ssa->rx_bytes;
+    r.nic.rx_dropped_bytes = ssa->rx_dropped_bytes;
+    r.nic.rx_dropped_events = ssa->rx_dropped_events;
+    r.nic.rx_ring_hiwater_frac = ssa->ring_hiwater;
+    // 802.3x pause is symmetric in the model: the receiver emits, the
+    // sender's link sees the same bursts.
+    r.nic.tx_pause_frames = ssa->pause_frames;
+    r.nic.rx_pause_frames = ssa->pause_frames;
+    r.nic.hw_gro_coalesced = ssa->hw_gro_aggs;
+    r.qdisc.sent_bytes = ssa->qdisc_sent_bytes;
+    r.qdisc.throttled = ssa->qdisc_throttled;
+    r.qdisc.pacing_delay_sec = ssa->qdisc_pacing_delay_sec;
+  }
+  return r;
 }
 
 TransferResult run_transfer(const TransferConfig& cfg) {

@@ -160,12 +160,39 @@ class TransferSimulation {
     bool pause_active = false;
     bool flow0_slow_start = true;
     std::uint64_t rounds = 0;
+    // Kernel-eye (ss/ethtool/tc) snapshot accumulators. Allocated only when
+    // the attached Telemetry wants ss, so a plain telemetry run executes
+    // zero snapshot-state updates (the introspection zero-cost guarantee).
+    struct SsAccum {
+      std::vector<double> bytes_sent;       // per flow, cumulative wire bytes
+      std::vector<double> send_bps;         // per flow, last-round wire rate
+      std::vector<double> delivery_bps;     // per flow, last-round drain rate
+      std::vector<double> notsent_bytes;    // per flow, last-round unsent
+      std::vector<double> optmem_inflight;  // per flow, mid-tick charge
+      bool app_limited = false;             // last round was CPU-bound
+      // ethtool -S analogues (receiver NIC, tick-aggregated)
+      double rx_bytes = 0.0;
+      double rx_dropped_bytes = 0.0;
+      double rx_dropped_events = 0.0;
+      double ring_hiwater = 0.0;
+      double pause_frames = 0.0;
+      double hw_gro_aggs = 0.0;
+      // tc -s analogues (the fluid engine prices pacing analytically)
+      double qdisc_sent_bytes = 0.0;
+      double qdisc_throttled = 0.0;
+      double qdisc_pacing_delay_sec = 0.0;
+    };
+    std::unique_ptr<SsAccum> ss;
   };
 
   void tick(double dt_sec, double now_sec);
   void update_jitter(FlowState& f);
   double mss() const;
   void setup_telemetry(sim::Engine& engine);
+  // Build the current ss/tcp_info view of every flow plus NIC/qdisc counter
+  // blocks (dtnsim-ss's payload). Only meaningful while a telemetry sink
+  // with ss enabled is attached; pure read of engine state.
+  obs::SsReport build_ss_report(Nanos now) const;
 
   TransferConfig cfg_;
   host::Host sender_;

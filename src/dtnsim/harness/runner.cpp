@@ -57,6 +57,8 @@ TestResult run_test(const TestSpec& spec) {
       if (r == 0) {
         // Aliasing shared_ptr: the result's trace keeps the Telemetry alive.
         out.trace = std::shared_ptr<const obs::TraceSink>(tel, &tel->trace());
+        out.ss_log = tel->ss().log();
+        for (auto& rep : out.ss_log) rep.label = spec.name;
       }
       cfg.telemetry = nullptr;
     }

@@ -61,6 +61,9 @@ struct TestResult {
   // and the trace of repeat 0 (shared_ptr keeps the Telemetry alive).
   std::vector<obs::SeriesTable> repeat_series;
   std::shared_ptr<const obs::TraceSink> trace;
+  // Populated only when spec.telemetry.ss_enabled: repeat 0's dtnsim-ss
+  // snapshot log (every watch sample plus the end-of-run sample).
+  std::vector<obs::SsReport> ss_log;
 };
 
 TestResult run_test(const TestSpec& spec);

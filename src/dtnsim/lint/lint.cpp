@@ -223,7 +223,6 @@ void check_raw_unit_double(const std::vector<std::string>& code,
     for (size_t j = 0; j < line.size(); ++j) {
       if (line[j] == '(') ++depth;
       if (line[j] == ')') depth = std::max(depth - 1, 0);
-      if (depth < 1) continue;
       // Match `double <name>` with <name> a banned scaled-unit identifier.
       if (line.compare(j, 6, "double") == 0 &&
           (j == 0 || !is_ident_char(line[j - 1])) &&
@@ -233,13 +232,33 @@ void check_raw_unit_double(const std::vector<std::string>& code,
         size_t name_end = k;
         while (name_end < line.size() && is_ident_char(line[name_end])) ++name_end;
         const std::string name = line.substr(k, name_end - k);
-        if (!name.empty() && is_banned_unit_name(name) &&
-            !sup.allows(i, "raw-unit-double")) {
-          out.push_back({"raw-unit-double", path, static_cast<int>(i + 1),
-                         "parameter 'double " + name +
-                             "' carries a scaled unit as a raw double; take a "
-                             "dtnsim::units strong type (Rate, SimTime, ...) "
-                             "instead"});
+        if (name.empty() || !is_banned_unit_name(name)) continue;
+        if (depth >= 1) {
+          // Inside a parameter list.
+          if (!sup.allows(i, "raw-unit-double")) {
+            out.push_back({"raw-unit-double", path, static_cast<int>(i + 1),
+                           "parameter 'double " + name +
+                               "' carries a scaled unit as a raw double; take "
+                               "a dtnsim::units strong type (Rate, SimTime, "
+                               "...) instead"});
+          }
+        } else {
+          // At depth 0 the same shape followed by `(` is a function
+          // declaration: `double avg_gbps(...)` returns a scaled unit as a
+          // raw double. Member/local declarations (`double avg_gbps = ...;`)
+          // carry no paren and stay legal.
+          size_t after = name_end;
+          while (after < line.size() &&
+                 std::isspace(static_cast<unsigned char>(line[after])))
+            ++after;
+          if (after < line.size() && line[after] == '(' &&
+              !sup.allows(i, "raw-unit-double")) {
+            out.push_back({"raw-unit-double", path, static_cast<int>(i + 1),
+                           "function 'double " + name +
+                               "(...)' returns a scaled unit as a raw double; "
+                               "return a dtnsim::units strong type (Rate, "
+                               "SimTime, ...) instead"});
+          }
         }
       }
     }

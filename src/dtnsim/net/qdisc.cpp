@@ -17,13 +17,20 @@ double FqQdisc::flow_rate(int flow) const {
 Nanos FqQdisc::enqueue(int flow, double bytes, Nanos now) {
   FlowState& st = flows_[flow];
   ++packets_;
+  counters_.sent_bytes += bytes;
 
   // Link serialization applies regardless of pacing.
   const auto wire_ns = static_cast<Nanos>(bytes * 8.0 / line_rate_bps_ * 1e9);
   Nanos depart = std::max(now, link_free_at_);
 
   if (st.rate_bps > 0.0) {
+    const Nanos link_depart = depart;
     depart = std::max(depart, st.next_departure);
+    if (depart > link_depart) {
+      // Pacing, not the link, held this packet back: fq's "throttled" stat.
+      ++counters_.throttled;
+      counters_.pacing_delay += depart - link_depart;
+    }
     const auto pace_ns = static_cast<Nanos>(bytes * 8.0 / st.rate_bps * 1e9);
     st.next_departure = depart + pace_ns;
   }
@@ -51,6 +58,7 @@ FqCodelQdisc::Verdict FqCodelQdisc::enqueue(double bytes, Nanos now) {
     if (above_target_since_ < 0) above_target_since_ = now;
     if (now - above_target_since_ >= interval_) {
       ++drops_;
+      dropped_bytes_ += bytes;
       v.dropped = true;
       return v;  // dropped packets do not occupy the link
     }
@@ -59,6 +67,7 @@ FqCodelQdisc::Verdict FqCodelQdisc::enqueue(double bytes, Nanos now) {
   }
 
   backlog_clears_at_ = start + wire_ns;
+  sent_bytes_ += bytes;
   v.departure = start;
   return v;
 }

@@ -24,6 +24,15 @@ class FqQdisc {
  public:
   explicit FqQdisc(double line_rate_bps) : line_rate_bps_(line_rate_bps) {}
 
+  // `tc -s qdisc show dev ... fq`-style statistics. `throttled` counts
+  // enqueues that pacing (not link serialization) pushed into the future —
+  // fq's "throttled" flows stat; pacing_delay accumulates how far.
+  struct Counters {
+    double sent_bytes = 0.0;
+    std::uint64_t throttled = 0;
+    Nanos pacing_delay = 0;
+  };
+
   // 0 disables pacing for the flow (line-rate bursts).
   void set_flow_rate(int flow, double rate_bps);
   double flow_rate(int flow) const;
@@ -37,6 +46,7 @@ class FqQdisc {
   double allowance_bytes(int flow, double dt_sec) const;
 
   std::uint64_t packets_scheduled() const { return packets_; }
+  const Counters& counters() const { return counters_; }
 
  private:
   struct FlowState {
@@ -48,6 +58,7 @@ class FqQdisc {
   Nanos link_free_at_ = 0;
   std::unordered_map<int, FlowState> flows_;
   std::uint64_t packets_ = 0;
+  Counters counters_;
 };
 
 // fq_codel: FIFO per flow with CoDel-style sojourn dropping. No pacing —
@@ -65,6 +76,10 @@ class FqCodelQdisc {
   Verdict enqueue(double bytes, Nanos now);
 
   std::uint64_t drops() const { return drops_; }
+  // `tc -s` counterpart of the fq stats block (no pacing here, so only
+  // sent/dropped are meaningful).
+  double sent_bytes() const { return sent_bytes_; }
+  double dropped_bytes() const { return dropped_bytes_; }
 
  private:
   double line_rate_bps_;
@@ -73,6 +88,8 @@ class FqCodelQdisc {
   Nanos backlog_clears_at_ = 0;
   Nanos above_target_since_ = -1;
   std::uint64_t drops_ = 0;
+  double sent_bytes_ = 0.0;
+  double dropped_bytes_ = 0.0;
 };
 
 }  // namespace dtnsim::net

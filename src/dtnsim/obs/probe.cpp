@@ -121,6 +121,7 @@ void FlowProbe::sample(Nanos now) {
       trace_->counter(s.desc->name, now, s.value);
     }
   }
+  if (cross_check_) cross_check_(now);
 }
 
 void FlowProbe::arm(sim::Engine& engine, Nanos horizon,

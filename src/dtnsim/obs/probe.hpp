@@ -66,12 +66,20 @@ class FlowProbe {
   // Take one sample immediately at time `now` (also used by arm()).
   void sample(Nanos now);
 
+  // Consistency hook, run after each sample lands (Telemetry installs one
+  // that asserts the probe's counters and the latest same-timestamp ss
+  // snapshot report identical delivered-byte totals). May throw.
+  void set_cross_check(std::function<void(Nanos)> fn) {
+    cross_check_ = std::move(fn);
+  }
+
  private:
   Registry* registry_;
   TraceSink* trace_;
   Nanos interval_;
   SeriesTable table_;
   std::function<void(Nanos)> pre_sample_;
+  std::function<void(Nanos)> cross_check_;
   std::shared_ptr<std::function<void()>> fire_;  // owner of the sampler event
 };
 

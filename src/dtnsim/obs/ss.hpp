@@ -1,0 +1,174 @@
+// Kernel-eye socket/NIC/qdisc snapshots: the simulator's `ss -i`,
+// `ethtool -S` and `tc -s qdisc`.
+//
+// The paper's entire diagnostic method is Linux's introspection surface —
+// tcp_info per socket, NIC counters per device, qdisc stats per interface.
+// This header defines plain-data snapshot structs mirroring the fields the
+// model can honestly populate, text formatters shaped like the real tools'
+// output, a JSON round-trip (dtnsim-ss --json / --replay), and SsWatch: a
+// self-rescheduling sampler (the `ss` analogue of FlowProbe's iperf3 -i)
+// that pulls an SsReport from the engine on the simulation clock and
+// mirrors headline fields into the shared Registry/trace sinks.
+//
+// Layering: obs sits below net/tcp/kern, so these structs carry copies of
+// engine state; each engine registers a SnapshotFn that builds a report
+// from its own internals. Nothing here touches model behaviour — snapshot
+// sources only read.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dtnsim/obs/metrics.hpp"
+#include "dtnsim/obs/trace.hpp"
+#include "dtnsim/sim/engine.hpp"
+#include "dtnsim/util/json.hpp"
+
+namespace dtnsim::obs {
+
+// One socket's `ss -i` / tcp_info view. Fields map 1:1 onto struct tcp_info
+// members where a counterpart exists (docs/OBSERVABILITY.md has the table);
+// zerocopy/optmem fields extend it the way `ss --memory` + the MSG_ZEROCOPY
+// error-queue counters would on a real DTN.
+struct TcpInfoSnapshot {
+  int flow = 0;
+  std::string ca_name = "cubic";        // tcpi_ca_state's algorithm name
+  bool in_slow_start = false;           // snd_cwnd < snd_ssthresh
+  double mss_bytes = 0.0;               // tcpi_snd_mss
+  double snd_cwnd_bytes = 0.0;          // tcpi_snd_cwnd * mss
+  double snd_ssthresh_bytes = 0.0;      // tcpi_snd_ssthresh * mss (0: BBR)
+  double rtt_sec = 0.0;                 // tcpi_rtt
+  double rttvar_sec = 0.0;              // tcpi_rttvar
+  double min_rtt_sec = 0.0;             // tcpi_min_rtt
+  double pacing_rate_bps = 0.0;         // tcpi_pacing_rate
+  double delivery_rate_bps = 0.0;       // tcpi_delivery_rate
+  bool delivery_rate_app_limited = false;  // tcpi_delivery_rate_app_limited
+  double send_rate_bps = 0.0;           // ss's computed "send" figure
+  double bytes_sent = 0.0;              // tcpi_bytes_sent (wire, cumulative)
+  double bytes_acked = 0.0;             // tcpi_bytes_acked
+  double bytes_retrans = 0.0;           // tcpi_bytes_retrans
+  double segs_retrans = 0.0;            // tcpi_total_retrans
+  double notsent_bytes = 0.0;           // tcpi_notsent_bytes
+  double rcv_space_bytes = 0.0;         // tcpi_rcv_space (advertised headroom)
+  // MSG_ZEROCOPY accounting (the Fig. 9 knee lives here).
+  double optmem_used_bytes = 0.0;       // in-flight ubuf_info charges
+  double optmem_max_bytes = 0.0;        // net.core.optmem_max
+  double optmem_hiwater_bytes = 0.0;    // lifetime peak charge
+  double zc_sent_bytes = 0.0;           // pinned sends (no copy)
+  double zc_copied_bytes = 0.0;         // SO_EE_CODE_ZEROCOPY_COPIED fallbacks
+  double zc_copied_sends = 0.0;         // sends that (partially) fell back
+};
+
+// `ethtool -S`-style device counters (receiver NIC). Cumulative since run
+// start, except the high-water gauge.
+struct NicCountersSnapshot {
+  std::string device;                   // NicSpec model name
+  double rx_bytes = 0.0;                // accepted into the host
+  double rx_dropped_bytes = 0.0;        // rx_out_of_buffer payload
+  double rx_dropped_events = 0.0;       // ticks/bursts with ring overrun
+  double rx_ring_hiwater_frac = 0.0;    // peak ring fill in [0, 1]
+  double tx_pause_frames = 0.0;         // 802.3x pause sent (rx -> tx side)
+  double rx_pause_frames = 0.0;         // pause observed by the sender
+  double hw_gro_coalesced = 0.0;        // SHAMPO-merged aggregates
+};
+
+// `tc -s qdisc`-style counters for the sender's root qdisc.
+struct QdiscCountersSnapshot {
+  std::string kind = "fq";              // fq | fq_codel
+  double sent_bytes = 0.0;
+  double throttled = 0.0;               // pacing held traffic back
+  double pacing_delay_sec = 0.0;        // cumulative pacing-induced delay
+  double drops = 0.0;                   // fq_codel sojourn drops
+  double backlog_bytes = 0.0;           // enqueued, not yet departed
+};
+
+// One dtnsim-ss sample: everything an operator would pull at time `ts`.
+struct SsReport {
+  Nanos ts = 0;
+  std::string engine;                   // "fluid" | "packet"
+  std::string label;                    // test/cell name (merged dumps)
+  std::vector<TcpInfoSnapshot> sockets;
+  NicCountersSnapshot nic;
+  QdiscCountersSnapshot qdisc;
+
+  double total_bytes_acked() const;
+  double total_delivery_rate_bps() const;
+};
+
+// ---- text renderers (shaped like the real tools' output) -----------------
+std::string format_tcp_info(const TcpInfoSnapshot& s);
+std::string format_ethtool(const NicCountersSnapshot& s);
+std::string format_tc(const QdiscCountersSnapshot& s);
+// Full report: per-socket blocks + NIC + qdisc sections.
+std::string format_ss(const SsReport& r);
+
+// ---- JSON round-trip (dtnsim-ss --json / --replay) -----------------------
+Json to_json(const TcpInfoSnapshot& s);
+Json to_json(const SsReport& r);
+TcpInfoSnapshot tcp_info_from_json(const Json& j);
+SsReport report_from_json(const Json& j);
+// A watch log as one document: {"snapshots": [...]}.
+Json ss_log_to_json(const std::vector<SsReport>& log);
+std::vector<SsReport> ss_log_from_json(const Json& doc);
+bool write_ss_log(const std::string& path, const std::vector<SsReport>& log);
+
+// Builds the current report on demand; installed by the engine that owns
+// the run. Must only *read* engine state (sampling is observation).
+using SnapshotFn = std::function<SsReport(Nanos)>;
+
+// Satellite cross-check: a snapshot's summed bytes_acked must equal the
+// probe-facing delivered-bytes counter of the same engine (flow.* for
+// fluid, pkt.* for packet) at the same timestamp. Throws std::logic_error
+// on divergence — the two surfaces reporting different totals would mean
+// the "ss view" and the "iperf3 view" of one run disagree.
+void cross_check_delivered(const SsReport& report, const Registry& registry);
+
+// The `ss`-side sampler. Like FlowProbe it self-reschedules on the engine
+// clock; each firing pulls a report from the installed SnapshotFn, appends
+// it to the in-memory log, mirrors headline fields into ss.* registry
+// gauges, and drops an instant into the trace. With no source installed
+// sampling throws (arming without an engine attached is a setup bug).
+class SsWatch {
+ public:
+  // `registry` must outlive the watch. `trace` may be null (no mirroring).
+  explicit SsWatch(Registry* registry, TraceSink* trace = nullptr);
+
+  void set_source(SnapshotFn fn) { source_ = std::move(fn); }
+  bool has_source() const { return static_cast<bool>(source_); }
+
+  // Take one sample now. Returns the stored report.
+  const SsReport& sample(Nanos now);
+  // End-of-run sample. If the last report already carries this timestamp
+  // (a watch interval that divides the horizon) it is replaced, not
+  // duplicated: the in-run event fired before the final round's tail was
+  // accounted, so only a fresh sample reflects the true end state.
+  void final_sample(Nanos now);
+
+  // Schedule sampling at interval, 2*interval, ... <= horizon.
+  void arm(sim::Engine& engine, Nanos interval, Nanos horizon);
+
+  const std::vector<SsReport>& log() const { return log_; }
+  std::size_t samples_taken() const { return log_.size(); }
+  void clear_log() { log_.clear(); }
+
+ private:
+  void mirror(const SsReport& r);
+
+  Registry* registry_;
+  TraceSink* trace_;
+  SnapshotFn source_;
+  std::vector<SsReport> log_;
+  std::shared_ptr<std::function<void()>> fire_;  // owner of the sampler event
+
+  // ss.* mirror gauges, registered on first sample so a watch-less run
+  // never widens the metric table.
+  Gauge* g_sockets_ = nullptr;
+  Gauge* g_delivery_ = nullptr;
+  Gauge* g_optmem_used_ = nullptr;
+  Gauge* g_zc_copied_ = nullptr;
+  Gauge* g_ring_hiwater_ = nullptr;
+  Gauge* g_qdisc_throttled_ = nullptr;
+};
+
+}  // namespace dtnsim::obs

@@ -24,6 +24,18 @@ void validate(const TelemetryConfig& cfg) {
         "TelemetryConfig.stream_buffer_events must be >= 1 (events buffered "
         "between streaming writes)");
   }
+  if (cfg.ss_interval < 0) {
+    throw std::invalid_argument(strfmt(
+        "TelemetryConfig.ss_interval must be >= 0 (0 = final snapshot only), "
+        "got %lld ns",
+        static_cast<long long>(cfg.ss_interval)));
+  }
+  if (cfg.ss_interval > 0 && !cfg.ss_enabled) {
+    throw std::invalid_argument(
+        "TelemetryConfig.ss_interval set without ss_enabled: an ss watch "
+        "cadence on a disabled snapshot surface would silently sample "
+        "nothing");
+  }
 }
 
 namespace {
@@ -42,7 +54,16 @@ std::unique_ptr<TraceSink> make_trace_sink(const TelemetryConfig& cfg) {
 Telemetry::Telemetry(TelemetryConfig cfg)
     : cfg_(std::move(cfg)),
       trace_((validate(cfg_), make_trace_sink(cfg_))),
-      probe_(&registry_, cfg_.probe_interval, trace_.get()) {}
+      probe_(&registry_, cfg_.probe_interval, trace_.get()),
+      ss_(&registry_, trace_.get()) {}
+
+void Telemetry::link_ss_cross_check() {
+  probe_.set_cross_check([this](Nanos now) {
+    const auto& log = ss_.log();
+    if (log.empty() || log.back().ts != now) return;
+    cross_check_delivered(log.back(), registry_);
+  });
+}
 
 const char* round_limit_name(RoundLimit limit) {
   switch (limit) {

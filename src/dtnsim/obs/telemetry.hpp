@@ -12,6 +12,7 @@
 
 #include "dtnsim/obs/metrics.hpp"
 #include "dtnsim/obs/probe.hpp"
+#include "dtnsim/obs/ss.hpp"
 #include "dtnsim/obs/trace.hpp"
 
 namespace dtnsim::obs {
@@ -29,11 +30,18 @@ struct TelemetryConfig {
   // ceiling for long runs. The ring still serves in-memory queries.
   std::string trace_stream_path;
   std::size_t stream_buffer_events = 256;  // events buffered between writes
+  // Kernel-eye ss/tcp_info snapshots (dtnsim-ss). Off by default: engines
+  // build snapshot state only when enabled, so a plain telemetry run pays
+  // nothing for the ss surface and its outputs stay bit-identical.
+  bool ss_enabled = false;
+  // Watch cadence; 0 = final snapshot only (dtnsim-ss without --watch).
+  Nanos ss_interval = 0;
 };
 
 // Throws std::invalid_argument on a degenerate config (probe_interval <= 0,
-// trace_capacity == 0, stream_buffer_events == 0). Called by Telemetry's
-// constructor; exposed for early CLI-level validation.
+// trace_capacity == 0, stream_buffer_events == 0, ss_interval < 0 or set
+// without ss_enabled). Called by Telemetry's constructor; exposed for early
+// CLI-level validation.
 void validate(const TelemetryConfig& cfg);
 
 class Telemetry {
@@ -47,12 +55,21 @@ class Telemetry {
   const TraceSink& trace() const { return *trace_; }
   FlowProbe& probe() { return probe_; }
   const SeriesTable& series() const { return probe_.series(); }
+  SsWatch& ss() { return ss_; }
+  const SsWatch& ss() const { return ss_; }
+  // Whether the owning engine should build ss snapshot state at all.
+  bool wants_ss() const { return cfg_.ss_enabled; }
+  // Satellite cross-check: after installing a snapshot source, tie the
+  // probe to the watch so every probe sample whose timestamp matches the
+  // latest ss report asserts both surfaces agree on delivered bytes.
+  void link_ss_cross_check();
 
  private:
   TelemetryConfig cfg_;
   Registry registry_;
   std::unique_ptr<TraceSink> trace_;
   FlowProbe probe_;
+  SsWatch ss_;
 };
 
 // The sender-side constraint that bounded a round's achievable bytes —

@@ -253,7 +253,7 @@ CampaignReport run_campaign(const GridSpec& grid, const CampaignOptions& opts) {
           .count();
   report.worker_occupancy =
       report.wall_sec > 0
-          ? pool.busy_seconds() / (static_cast<double>(report.jobs) * report.wall_sec)
+          ? pool.busy_sec() / (static_cast<double>(report.jobs) * report.wall_sec)
           : 0.0;
   if (opts.metrics) {
     m_wall->set(report.wall_sec);

@@ -72,7 +72,7 @@ void WorkerPool::wait() {
   if (error) std::rethrow_exception(error);
 }
 
-double WorkerPool::busy_seconds() const {
+double WorkerPool::busy_sec() const {
   std::unique_lock<std::mutex> lock(mu_);
   return busy_sec_;
 }

@@ -54,7 +54,7 @@ class WorkerPool {
 
   // Total time workers spent inside jobs, for the sweep.worker_occupancy
   // metric. Stable only after wait().
-  double busy_seconds() const;
+  double busy_sec() const;
 
  private:
   void worker_loop();

@@ -32,6 +32,14 @@ const Json* Json::find(const std::string& key) const {
   return it == obj_.end() ? nullptr : &it->second;
 }
 
+std::vector<std::string> Json::keys() const {
+  std::vector<std::string> out;
+  if (kind_ != Kind::Object) return out;
+  out.reserve(obj_.size());
+  for (const auto& kv : obj_) out.push_back(kv.first);
+  return out;
+}
+
 double Json::number_at(const std::string& key, double fallback) const {
   const Json* v = find(key);
   return v ? v->number_or(fallback) : fallback;

@@ -55,6 +55,9 @@ class Json {
   // Object access; creates members on demand (object kind required).
   Json& operator[](const std::string& key);
   const Json* find(const std::string& key) const;
+  // Object member names in deterministic (sorted) order; empty for
+  // non-objects. Golden tests diff this against a checked-in key list.
+  std::vector<std::string> keys() const;
   // Chained convenience reads: find(key) with a typed fallback.
   double number_at(const std::string& key, double fallback) const;
   bool bool_at(const std::string& key, bool fallback) const;

@@ -75,6 +75,26 @@ TEST(LintRawUnitDouble, FlagsScaledUnitParamsInHeaders) {
   EXPECT_EQ(count_rule(fs, "raw-unit-double"), 2);
 }
 
+TEST(LintRawUnitDouble, FlagsScaledUnitReturnsInHeaders) {
+  const std::string code =
+      "struct Pool {\n"
+      "  double busy_seconds() const;\n"
+      "};\n"
+      "double peak_gbps();\n";
+  const auto fs = lint_file("src/dtnsim/fake/api.hpp", code);
+  EXPECT_EQ(count_rule(fs, "raw-unit-double"), 2);
+  // The message names the offending function, not a parameter.
+  ASSERT_FALSE(fs.empty());
+  EXPECT_NE(fs[0].message.find("returns a scaled unit"), std::string::npos);
+}
+
+TEST(LintRawUnitDouble, ReturnRuleKeepsBareBpsAndMembersLegal) {
+  const std::string code =
+      "double rate_bps();\n"                     // raw bps is the fluid idiom
+      "struct R { double avg_gbps = 0.0; };\n";  // member, no call parens
+  EXPECT_TRUE(lint_file("src/dtnsim/fake/api.hpp", code).empty());
+}
+
 TEST(LintRawUnitDouble, TickConventionsStayLegal) {
   // dt_sec / t_sec / raw bps are the repo's documented fluid-math idiom.
   const std::string code =

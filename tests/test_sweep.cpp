@@ -99,7 +99,7 @@ TEST(WorkerPool, TracksBusyTime) {
     });
   }
   pool.wait();
-  EXPECT_GT(pool.busy_seconds(), 0.0);
+  EXPECT_GT(pool.busy_sec(), 0.0);
 }
 
 // ---- grid expansion ------------------------------------------------------

@@ -1,0 +1,130 @@
+// dtnsim-ss: the simulator's `ss -i` / `ethtool -S` / `tc -s qdisc`.
+//
+// Runs a scenario (same flags as dtnsim-iperf3) with kernel-eye snapshots
+// enabled and prints each snapshot the way the real tools would, or replays
+// a previously written snapshot log without re-simulating.
+//
+//   $ dtnsim-ss --testbed amlight --path "WAN 104ms" --kernel 6.5 -Z
+//               --fq-rate 50G --optmem 20480 -t 5 --watch 1
+//   $ dtnsim-ss --testbed esnet -P 8 --fq-rate 15G -t 5 --json
+//   $ dtnsim-ss --replay run.ss.json
+//
+// Tool-specific flags (everything else is forwarded to the shared CLI):
+//   --watch SEC     sample every SEC of simulated time (alias: --ss-watch);
+//                   without it only the end-of-run snapshot is taken
+//   --replay FILE   pretty-print FILE (a --ss-out / --json dump) and exit
+//   -J, --json      emit the snapshot log as JSON instead of text
+//   --ss-out FILE   additionally write the JSON log to FILE
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dtnsim/cli/cli.hpp"
+#include "dtnsim/obs/ss.hpp"
+
+namespace {
+
+int replay(const std::string& path, bool json) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto doc = dtnsim::Json::parse(buf.str());
+  if (!doc) {
+    std::fprintf(stderr, "error: %s is not valid JSON\n", path.c_str());
+    return 2;
+  }
+  const auto log = dtnsim::obs::ss_log_from_json(*doc);
+  if (log.empty()) {
+    std::fprintf(stderr, "error: %s holds no snapshots\n", path.c_str());
+    return 2;
+  }
+  if (json) {
+    std::fputs((dtnsim::obs::ss_log_to_json(log).dump(2) + "\n").c_str(), stdout);
+  } else {
+    for (const auto& r : log) std::fputs(dtnsim::obs::format_ss(r).c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  std::string replay_path;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--watch") {  // tool-local alias for the shared --ss-watch
+      args.push_back("--ss-watch");
+    } else if (a.rfind("--watch=", 0) == 0) {
+      args.push_back("--ss-watch=" + a.substr(8));
+    } else if (a == "--replay") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: missing value for --replay\n");
+        return 2;
+      }
+      replay_path = argv[++i];
+    } else if (a.rfind("--replay=", 0) == 0) {
+      replay_path = a.substr(9);
+    } else if (a == "-J" || a == "--json") {
+      json = true;
+    } else {
+      args.push_back(a);
+    }
+  }
+  if (!replay_path.empty()) return replay(replay_path, json);
+
+  auto opts = dtnsim::cli::parse_cli(args);
+  if (!opts.error.empty()) {
+    std::fprintf(stderr, "error: %s\n\n%s", opts.error.c_str(),
+                 dtnsim::cli::cli_help().c_str());
+    return 2;
+  }
+  if (opts.show_help) {
+    std::fputs(
+        "dtnsim-ss — kernel-eye socket/NIC/qdisc snapshots of a dtnsim run\n"
+        "\n"
+        "tool flags:\n"
+        "      --watch SEC      snapshot every SEC of simulated time\n"
+        "      --replay FILE    pretty-print a recorded log, no simulation\n"
+        "  -J, --json           emit the snapshot log as JSON\n"
+        "      --ss-out FILE    also write the JSON log to FILE\n"
+        "\n"
+        "scenario flags (shared with dtnsim-iperf3):\n",
+        stdout);
+    std::fputs(dtnsim::cli::cli_help().c_str(), stdout);
+    return 0;
+  }
+  opts.force_ss = true;
+  opts.iperf.json = false;  // the run itself stays quiet; we print snapshots
+
+  dtnsim::harness::TestSpec spec;
+  try {
+    spec = dtnsim::cli::spec_from_cli(opts);
+  } catch (const std::exception& e) {  // unknown testbed or path name
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  const auto result = dtnsim::harness::run_test(spec);
+  auto log = result.ss_log;
+  if (log.empty()) {
+    std::fprintf(stderr, "error: run produced no snapshots\n");
+    return 1;
+  }
+  if (!opts.ss_out.empty() && !dtnsim::obs::write_ss_log(opts.ss_out, log)) {
+    std::fprintf(stderr, "error: cannot write ss log to %s\n", opts.ss_out.c_str());
+    return 1;
+  }
+  if (json) {
+    std::fputs((dtnsim::obs::ss_log_to_json(log).dump(2) + "\n").c_str(), stdout);
+  } else {
+    for (const auto& r : log) std::fputs(dtnsim::obs::format_ss(r).c_str(), stdout);
+  }
+  return 0;
+}
