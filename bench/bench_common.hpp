@@ -51,6 +51,17 @@ inline sweep::CampaignOptions parse_bench_campaign_flags(int argc, char** argv) 
   return run;
 }
 
+// Shared flag parsing for attribution-enabled benches: --perf-out FILE
+// turns on per-stage cycle profiling for every cell and merges the labeled
+// logs into one dtnsim-perf replay file. Returns "" when the flag is absent
+// (profiling stays off and the bench output is bit-identical).
+inline std::string parse_bench_perf_out(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--perf-out") return argv[i + 1];
+  }
+  return "";
+}
+
 inline std::string campaign_summary(const sweep::CampaignReport& r) {
   return strfmt("[%s: %zu cells, %zu simulated, %zu cached, jobs=%d, %.1fs wall]",
                 r.name.c_str(), r.total, r.simulated, r.cached, r.jobs, r.wall_sec);

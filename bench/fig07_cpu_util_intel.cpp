@@ -11,21 +11,25 @@
 using namespace dtnsim;
 using namespace dtnsim::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_header("Figure 7", "CPU utilization vs latency (single stream, Intel, kernel 6.5)",
                "default vs zerocopy+pacing 50G (optmem 3.25MB), 60 s x 10");
 
+  const std::string perf_out = parse_bench_perf_out(argc, argv);
   const auto tb = harness::amlight(kern::KernelVersion::V6_5);
   Table table({"Config", "Path", "Throughput", "TX Cores", "RX Cores", "Bottleneck"});
+  std::vector<obs::PerfReport> perf_log;
 
   for (const bool zcp : {false, true}) {
     for (const char* p : {"LAN", "WAN 25ms", "WAN 54ms", "WAN 104ms"}) {
       auto e = Experiment(tb).path(p);
       if (zcp) e.zerocopy().pacing(units::Rate::from_gbps(50)).optmem_max(units::Bytes(3405376));
+      if (!perf_out.empty()) e.perf();
       const auto r = standard(std::move(e)).run();
       table.add_row({zcp ? "zc+pacing 50G" : "default", p, gbps(r.avg_gbps),
                      pct(r.snd_cpu_pct), pct(r.rcv_cpu_pct),
                      r.snd_cpu_pct > r.rcv_cpu_pct ? "sender" : "receiver"});
+      perf_log.insert(perf_log.end(), r.perf_log.begin(), r.perf_log.end());
     }
     table.add_separator();
   }
@@ -33,5 +37,13 @@ int main() {
   std::printf("Paper shape: default = receiver-bound on LAN, sender-bound on WAN;\n"
               "zc+pacing = sender CPU collapses, receiver becomes the bottleneck,\n"
               "throughput identical on all paths.\n");
+  if (!perf_out.empty()) {
+    if (!obs::write_perf_log(perf_out, perf_log)) {
+      std::fprintf(stderr, "error: cannot write perf log to %s\n", perf_out.c_str());
+      return 1;
+    }
+    std::printf("Perf log: %s (%zu cell reports, dtnsim-perf --replay reads it)\n",
+                perf_out.c_str(), perf_log.size());
+  }
   return 0;
 }

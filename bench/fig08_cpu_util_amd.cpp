@@ -8,21 +8,25 @@
 using namespace dtnsim;
 using namespace dtnsim::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_header("Figure 8", "CPU utilization (single stream, AMD host, ESnet)",
                "default vs zerocopy+pacing 40G, LAN + 63 ms WAN, 60 s x 10");
 
+  const std::string perf_out = parse_bench_perf_out(argc, argv);
   const auto tb = harness::esnet(kern::KernelVersion::V6_8);
   Table table({"Config", "Path", "Throughput", "TX Cores", "RX Cores"});
+  std::vector<obs::PerfReport> perf_log;
 
   double def_lan = 0, def_wan = 0, snd_wan = 0, snd_lan = 0;
   for (const bool zcp : {false, true}) {
     for (const char* p : {"LAN", "WAN 63ms"}) {
       auto e = Experiment(tb).path(p);
       if (zcp) e.zerocopy().pacing(units::Rate::from_gbps(40)).optmem_max(units::Bytes(3405376));
+      if (!perf_out.empty()) e.perf();
       const auto r = standard(std::move(e)).run();
       table.add_row({zcp ? "zc+pacing 40G" : "default", p, gbps(r.avg_gbps),
                      pct(r.snd_cpu_pct), pct(r.rcv_cpu_pct)});
+      perf_log.insert(perf_log.end(), r.perf_log.begin(), r.perf_log.end());
       if (!zcp) {
         (std::string(p) == "LAN" ? def_lan : def_wan) = r.avg_gbps;
         (std::string(p) == "LAN" ? snd_lan : snd_wan) = r.snd_cpu_pct;
@@ -36,5 +40,13 @@ int main() {
               (1.0 - def_wan / def_lan) * 100.0);
   std::printf("  sender CPU WAN >> LAN  : %.0f%% vs %.0f%% (paper: 'much higher on AMD')\n",
               snd_wan, snd_lan);
+  if (!perf_out.empty()) {
+    if (!obs::write_perf_log(perf_out, perf_log)) {
+      std::fprintf(stderr, "error: cannot write perf log to %s\n", perf_out.c_str());
+      return 1;
+    }
+    std::printf("Perf log: %s (%zu cell reports, dtnsim-perf --replay reads it)\n",
+                perf_out.c_str(), perf_log.size());
+  }
   return 0;
 }

@@ -57,7 +57,8 @@ bool needs_value(const std::string& flag) {
          flag == "--optmem" || flag == "--ring" || flag == "--repeats" ||
          flag == "--seed" || flag == "--jobs" || flag == "--probe-interval" ||
          flag == "--metrics-out" || flag == "--trace-out" || flag == "--trace-stream" ||
-         flag == "--ss-watch" || flag == "--ss-out";
+         flag == "--ss-watch" || flag == "--ss-out" || flag == "--perf-watch" ||
+         flag == "--perf-out";
 }
 
 }  // namespace
@@ -201,6 +202,14 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       }
     } else if (flag == "--ss-out") {
       o.ss_out = value;
+    } else if (flag == "--perf-watch") {
+      o.perf_watch_sec = std::atof(value.c_str());
+      if (o.perf_watch_sec <= 0) {
+        o.error = "perf watch interval must be positive";
+        return o;
+      }
+    } else if (flag == "--perf-out") {
+      o.perf_out = value;
     } else {
       o.error = "unknown flag: " + flag;
       return o;
@@ -240,6 +249,9 @@ std::string cli_help() {
       "                         (no ring-capacity ceiling; first repeat only)\n"
       "      --ss-watch SEC     ss/ethtool/tc snapshots every SEC of sim time\n"
       "      --ss-out F         write the snapshot log as JSON (dtnsim-ss\n"
+      "                         --replay reads it back)\n"
+      "      --perf-watch SEC   per-stage cycle attribution samples every SEC\n"
+      "      --perf-out F       write the perf log as JSON (dtnsim-perf\n"
       "                         --replay reads it back)\n";
 }
 
@@ -261,8 +273,10 @@ harness::TestSpec spec_from_cli(const CliOptions& opts) {
   }
   const bool wants_ss =
       opts.force_ss || opts.ss_watch_sec > 0 || !opts.ss_out.empty();
+  const bool wants_perf =
+      opts.force_perf || opts.perf_watch_sec > 0 || !opts.perf_out.empty();
   if (!opts.metrics_out.empty() || !opts.trace_out.empty() ||
-      !opts.trace_stream.empty() || wants_ss) {
+      !opts.trace_stream.empty() || wants_ss || wants_perf) {
     spec.telemetry.enabled = true;
     spec.telemetry.probe_interval = units::seconds(opts.probe_interval_sec);
     spec.telemetry.trace_stream_path = opts.trace_stream;
@@ -271,6 +285,12 @@ harness::TestSpec spec_from_cli(const CliOptions& opts) {
     spec.telemetry.ss_enabled = true;
     if (opts.ss_watch_sec > 0) {
       spec.telemetry.ss_interval = units::seconds(opts.ss_watch_sec);
+    }
+  }
+  if (wants_perf) {
+    spec.telemetry.perf_enabled = true;
+    if (opts.perf_watch_sec > 0) {
+      spec.telemetry.perf_interval = units::seconds(opts.perf_watch_sec);
     }
   }
   return spec;
@@ -325,6 +345,15 @@ int run_cli(const CliOptions& opts, std::string& output) {
     telemetry_note += strfmt("  ss log     : %s (%zu snapshot%s)\n",
                              opts.ss_out.c_str(), result.ss_log.size(),
                              result.ss_log.size() == 1 ? "" : "s");
+  }
+  if (!opts.perf_out.empty()) {
+    if (!obs::write_perf_log(opts.perf_out, result.perf_log)) {
+      output = strfmt("error: cannot write perf log to %s\n", opts.perf_out.c_str());
+      return 1;
+    }
+    telemetry_note += strfmt("  perf log   : %s (%zu sample%s)\n",
+                             opts.perf_out.c_str(), result.perf_log.size(),
+                             result.perf_log.size() == 1 ? "" : "s");
   }
 
   if (opts.iperf.json) {

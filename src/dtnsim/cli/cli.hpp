@@ -27,6 +27,8 @@
 //   --trace-stream PATH     stream events to PATH as recorded (no capacity cap)
 //   --ss-watch SEC          kernel-eye ss/ethtool/tc snapshots every SEC
 //   --ss-out PATH           snapshot log -> JSON (dtnsim-ss --replay input)
+//   --perf-watch SEC        per-stage cycle attribution samples every SEC
+//   --perf-out PATH         perf log -> JSON (dtnsim-perf --replay input)
 // Long flags also accept --flag=value.
 #pragma once
 
@@ -74,6 +76,13 @@ struct CliOptions {
   double ss_watch_sec = 0.0;
   std::string ss_out;
   bool force_ss = false;
+  // Per-stage cycle attribution (dtnsim-perf): sampler cadence in simulated
+  // seconds (0 = end-of-run report only) and the JSON log destination.
+  // Either flag — or force_perf (the dtnsim-perf front end) — enables the
+  // attribution accumulators.
+  double perf_watch_sec = 0.0;
+  std::string perf_out;
+  bool force_perf = false;
 };
 
 CliOptions parse_cli(const std::vector<std::string>& args);

@@ -131,6 +131,18 @@ Experiment& Experiment::ss_watch(units::SimTime interval) {
   return *this;
 }
 
+Experiment& Experiment::perf(bool on) {
+  telemetry_.perf_enabled = on;
+  if (on) telemetry_.enabled = true;
+  return *this;
+}
+
+Experiment& Experiment::perf_watch(units::SimTime interval) {
+  perf(true);
+  telemetry_.perf_interval = interval.nanos();
+  return *this;
+}
+
 harness::TestSpec Experiment::spec() const {
   harness::TestSpec s = harness::TestSpec::on(testbed_, path_name_, iperf_, label_);
   s.repeats = repeats_;

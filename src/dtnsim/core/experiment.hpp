@@ -42,6 +42,12 @@ class Experiment {
   // Periodic snapshots every `interval` of simulated time plus the final
   // one — `dtnsim-ss --watch`. Implies ss(true).
   Experiment& ss_watch(units::SimTime interval);
+  // Exact per-stage cycle attribution (`dtnsim-perf`): record an end-of-run
+  // PerfReport on repeat 0. Implies telemetry(true).
+  Experiment& perf(bool on = true);
+  // Periodic attribution samples every `interval` of simulated time plus
+  // the final one — `dtnsim-perf --record`. Implies perf(true).
+  Experiment& perf_watch(units::SimTime interval);
 
   // The spec this builder will run (inspectable before running).
   harness::TestSpec spec() const;

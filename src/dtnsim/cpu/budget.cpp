@@ -5,18 +5,19 @@
 namespace dtnsim::cpu {
 
 void CoreBudget::reset(units::Cycles capacity) {
-  capacity_ = std::max(capacity.value(), 0.0);
-  used_ = 0.0;
+  capacity_ = units::Cycles(std::max(capacity.value(), 0.0));
+  used_ = units::Cycles(0.0);
 }
 
 double CoreBudget::consume(units::Cycles cycles) {
   const double granted = std::min(std::max(cycles.value(), 0.0), remaining());
-  used_ += granted;
+  used_ += units::Cycles(granted);
   return granted;
 }
 
 void CoreBudget::charge(units::Cycles cycles) {
-  used_ = std::min(capacity_, used_ + std::max(cycles.value(), 0.0));
+  used_ = std::min(capacity_,
+                   used_ + units::Cycles(std::max(cycles.value(), 0.0)));
 }
 
 void CorePool::begin_tick(double dt_sec) {

@@ -17,11 +17,15 @@ class CoreBudget {
  public:
   void reset(units::Cycles capacity);
 
-  double capacity() const { return capacity_; }
-  double used() const { return used_; }
-  double remaining() const { return capacity_ > used_ ? capacity_ - used_ : 0.0; }
+  double capacity() const { return capacity_.value(); }
+  double used() const { return used_.value(); }
+  double remaining() const {
+    return capacity_ > used_ ? (capacity_ - used_).value() : 0.0;
+  }
   // Fraction of capacity consumed, in [0, 1].
-  double utilization() const { return capacity_ > 0 ? used_ / capacity_ : 0.0; }
+  double utilization() const {
+    return capacity_.value() > 0 ? used_ / capacity_ : 0.0;
+  }
 
   // Consume up to `cycles`; returns what was actually granted.
   double consume(units::Cycles cycles);
@@ -29,8 +33,8 @@ class CoreBudget {
   void charge(units::Cycles cycles);
 
  private:
-  double capacity_ = 0.0;
-  double used_ = 0.0;
+  units::Cycles capacity_{0.0};
+  units::Cycles used_{0.0};
 };
 
 // A named group of cores drawing from a shared pool (e.g. the 8 IRQ cores).

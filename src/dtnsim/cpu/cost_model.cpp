@@ -129,6 +129,71 @@ double CostModel::rx_irq_cyc_per_byte(const RxPathConfig& cfg) const {
   return scaled(per_byte) * opts_.placement.irq_cost_mult();
 }
 
+TxAppStageCyc CostModel::tx_app_stage_cyc(const TxPathConfig& cfg) const {
+  // Term-for-term mirror of tx_app_cyc_per_byte: the same fractions and
+  // constants, each term scaled and placement-weighted individually so the
+  // stages sum back to the scalar to fp rounding.
+  const double copy_frac = std::clamp(1.0 - cfg.zc_fraction, 0.0, 1.0);
+  const double zc_frac = std::clamp(cfg.zc_fraction - cfg.zc_fallback_fraction, 0.0, 1.0);
+  const double fb_frac = std::clamp(cfg.zc_fallback_fraction, 0.0, 1.0);
+  const double mult = opts_.placement.app_cost_mult();
+
+  TxAppStageCyc s;
+  s.proto = scaled(kTxProtoPerByte) * mult;
+  s.syscall = scaled(kTxPerSuperPkt / std::max(cfg.gso_bytes, 1.0)) * mult;
+  s.user_copy = scaled(copy_frac * copy_tx_ * std::max(cfg.cache_mult, 1.0)) * mult;
+  s.zc_pin = scaled(zc_frac * zc_pin_per_page_ / kPageBytes) * mult;
+  s.zc_notify =
+      scaled(zc_frac * kZcCompletionPerSuperPkt / std::max(cfg.gso_bytes, 1.0)) * mult;
+  s.zc_fallback =
+      scaled(fb_frac *
+             (copy_tx_ * std::max(cfg.cache_mult, 1.0) + kZcFallbackExtraPerByte)) *
+      mult;
+  return s;
+}
+
+TxIrqStageCyc CostModel::tx_irq_stage_cyc(const TxPathConfig& cfg) const {
+  const double mult = opts_.placement.irq_cost_mult();
+  TxIrqStageCyc s;
+  s.gso_segment = scaled(kTxPerMtuSeg / std::max(cfg.mtu_bytes, 1.0)) * mult;
+  s.dma_map =
+      scaled((opts_.iommu_passthrough ? kDmaMapPtPerMtuPkt : kDmaMapStrictPerMtuPkt) /
+             std::max(cfg.mtu_bytes, 1.0)) *
+      mult;
+  s.completion = scaled(kTxCompletionPerSuperPkt / std::max(cfg.gso_bytes, 1.0)) * mult;
+  return s;
+}
+
+RxAppStageCyc CostModel::rx_app_stage_cyc(const RxPathConfig& cfg) const {
+  const double mss = std::max(cfg.mtu_bytes - 40.0, 1.0);
+  const double mult = opts_.placement.app_cost_mult();
+  RxAppStageCyc s;
+  s.syscall = scaled((cfg.hw_gro ? kRxPerAggregateApp * kHwGroAggregateFactor
+                                 : kRxPerAggregateApp) /
+                     std::max(cfg.gro_bytes, 1.0)) *
+              mult;
+  if (cfg.copy_to_user) {
+    s.frag_walk =
+        scaled((cfg.hw_gro ? kHwGroPerMtuPktApp : kRxPerMtuPktApp) / mss) * mult;
+    s.copyout = scaled(copy_rx_ * (cfg.hw_gro ? kHwGroCopyFactor : 1.0)) * mult;
+  }
+  return s;
+}
+
+RxIrqStageCyc CostModel::rx_irq_stage_cyc(const RxPathConfig& cfg) const {
+  const double per_pkt = cfg.hw_gro ? kHwGroPerMtuPkt : kRxPerMtuPkt;
+  const double mult = opts_.placement.irq_cost_mult();
+  RxIrqStageCyc s;
+  s.csum = scaled(kRxProtoPerByte) * mult;
+  s.gro_merge = scaled(per_pkt / std::max(cfg.mtu_bytes, 1.0)) * mult;
+  s.agg_flush = scaled(kRxPerAggregateIrq / std::max(cfg.gro_bytes, 1.0)) * mult;
+  s.skb_alloc =
+      scaled((opts_.iommu_passthrough ? kDmaMapPtPerMtuPkt : kDmaMapStrictPerMtuPkt) /
+             std::max(cfg.mtu_bytes, 1.0)) *
+      mult;
+  return s;
+}
+
 double CostModel::rx_mem_passes(const RxPathConfig& cfg) const {
   const double copy_passes = 1.6 + opts_.stack_factor;
   return cfg.copy_to_user ? copy_passes : kMemPassesZc;

@@ -47,6 +47,47 @@ struct RxPathConfig {
   bool hw_gro = false;         // ConnectX-7 SHAMPO offload (Linux 6.11+)
 };
 
+// ---- per-stage decompositions (the dtnsim-perf attribution surface) -------
+// Each struct splits the matching *_cyc_per_byte scalar into the model's
+// constituent terms, every field fully scaled (stack/virt/placement) so the
+// fields sum back to the scalar up to fp rounding — the identity
+// obs::cross_check_stage_sum enforces. Field comments name the kernel symbol
+// each term stands in for (docs/OBSERVABILITY.md has the full table).
+
+struct TxAppStageCyc {
+  double syscall = 0.0;      // tcp_sendmsg_locked (per-GSO-skb, amortized)
+  double proto = 0.0;        // tcp_write_xmit per-byte bookkeeping
+  double user_copy = 0.0;    // copy_user_enhanced_fast_string
+  double zc_pin = 0.0;       // zerocopy_sg_from_iter page pinning
+  double zc_notify = 0.0;    // msg_zerocopy_callback completions
+  double zc_fallback = 0.0;  // skb_zerocopy_iter_stream copied fallback
+  double total() const {
+    return syscall + proto + user_copy + zc_pin + zc_notify + zc_fallback;
+  }
+};
+
+struct TxIrqStageCyc {
+  double gso_segment = 0.0;  // tcp_gso_segment post-TSO residue
+  double dma_map = 0.0;      // dma_map_page_attrs + doorbell
+  double completion = 0.0;   // skb_release_data TX-completion work
+  double total() const { return gso_segment + dma_map + completion; }
+};
+
+struct RxAppStageCyc {
+  double syscall = 0.0;    // tcp_recvmsg + sock_def_readable per aggregate
+  double frag_walk = 0.0;  // skb frag walk + cmsg per wire segment
+  double copyout = 0.0;    // skb_copy_datagram_iter (0 under MSG_TRUNC)
+  double total() const { return syscall + frag_walk + copyout; }
+};
+
+struct RxIrqStageCyc {
+  double skb_alloc = 0.0;  // mlx5e_skb_from_cqe + dma_unmap per packet
+  double gro_merge = 0.0;  // gro_receive per-packet coalescing
+  double agg_flush = 0.0;  // napi_gro_flush per-aggregate delivery
+  double csum = 0.0;       // csum_partial / TCP validation per byte
+  double total() const { return skb_alloc + gro_merge + agg_flush + csum; }
+};
+
 class CostModel {
  public:
   CostModel(const CpuSpec& spec, const CostModelOptions& opts);
@@ -63,6 +104,13 @@ class CostModel {
   double rx_app_cyc_per_byte(const RxPathConfig& cfg) const;
   double rx_irq_cyc_per_byte(const RxPathConfig& cfg) const;
   double rx_mem_passes(const RxPathConfig& cfg) const;
+
+  // Per-stage splits of the four scalars above (cycles per payload byte,
+  // fully scaled). total() matches the scalar to fp rounding.
+  TxAppStageCyc tx_app_stage_cyc(const TxPathConfig& cfg) const;
+  TxIrqStageCyc tx_irq_stage_cyc(const TxPathConfig& cfg) const;
+  RxAppStageCyc rx_app_stage_cyc(const RxPathConfig& cfg) const;
+  RxIrqStageCyc rx_irq_stage_cyc(const RxPathConfig& cfg) const;
 
   // Multiplier (>= 1) applied to sender per-byte copy costs as the in-flight
   // window outgrows the flow's effective L3 window.

@@ -1,7 +1,9 @@
 #include "dtnsim/flow/packet_sim.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <memory>
 
 #include "dtnsim/kern/gro.hpp"
 #include "dtnsim/kern/gso.hpp"
@@ -63,6 +65,30 @@ struct SimState {
   PacketSimResult res;
   RunningStats gaps;
   double aggregate_bytes_total = 0.0;
+
+  // Exact per-stage cycle attribution (dtnsim-perf), allocated only when the
+  // attached Telemetry wants perf — same zero-cost-when-disabled guarantee
+  // as the fluid engine's Instruments::PerfAccum. The packet engine runs one
+  // app core per side and folds IRQ work into the NAPI/service times, so the
+  // snd_irq/rcv_irq groups stay zero here.
+  struct PerfAccum {
+    std::array<double, obs::kPerfStageCount> stage{};
+    std::array<double, obs::kPerfCoreCount> consumed{};
+    double bytes_sent = 0.0;
+    // TX stage prices per payload byte (fixed geometry for the whole run);
+    // tx_prep_ns is the ns projection of total() * gso_bytes.
+    cpu::TxAppStageCyc tx_pb;
+    // RX stage cycles per wire segment. Under rx_segment_ns_override these
+    // are rescaled so their sum equals the override the engine actually
+    // charges, keeping the stage-sum == consumed identity honest.
+    double rx_seg_syscall = 0.0;
+    double rx_seg_frag_walk = 0.0;
+    double rx_seg_copyout = 0.0;
+    // App-core clock rates, for capacity at sample time.
+    double snd_hz = 0.0;
+    double rcv_hz = 0.0;
+  };
+  std::unique_ptr<PerfAccum> perf;
 };
 
 void try_send(SimState& s);
@@ -142,6 +168,18 @@ void napi_poll(SimState& s) {
     s.pkt.napi_polls->increment();
     s.pkt.napi_batch->add(static_cast<double>(take), units::to_seconds(spent));
   }
+  if (s.perf) {
+    // Attribute the batch's service cycles (whose ns projection is `spent`)
+    // to the recvmsg-path stages. This engine drains in the app context, so
+    // the whole charge lands on rcv_app.
+    auto& pa = *s.perf;
+    const double n = static_cast<double>(take);
+    pa.stage[static_cast<int>(obs::PerfStage::RxSyscall)] += n * pa.rx_seg_syscall;
+    pa.stage[static_cast<int>(obs::PerfStage::RxFragWalk)] += n * pa.rx_seg_frag_walk;
+    pa.stage[static_cast<int>(obs::PerfStage::RxCopyout)] += n * pa.rx_seg_copyout;
+    pa.consumed[static_cast<int>(obs::PerfCore::RcvApp)] +=
+        n * (pa.rx_seg_syscall + pa.rx_seg_frag_walk + pa.rx_seg_copyout);
+  }
   s.engine.schedule(spent, [&s, take] {
     for (int i = 0; i < take; ++i) {
       if (auto agg = s.gro->add_segment(units::Bytes(s.seg_payload)))
@@ -211,6 +249,21 @@ void try_send(SimState& s) {
 
     s.inflight += s.gso_bytes;
     s.res.superpackets_sent += 1;
+    if (s.perf) {
+      // Charge in cycles from the per-byte stage prices, not from the
+      // ns-quantized tx_prep_ns — the quantization error (~3 cyc/ns per
+      // super-packet) would fail the stage-sum == consumed cross-check.
+      auto& pa = *s.perf;
+      const double b = s.gso_bytes;
+      pa.stage[static_cast<int>(obs::PerfStage::TxSyscall)] += b * pa.tx_pb.syscall;
+      pa.stage[static_cast<int>(obs::PerfStage::TxProto)] += b * pa.tx_pb.proto;
+      pa.stage[static_cast<int>(obs::PerfStage::TxUserCopy)] += b * pa.tx_pb.user_copy;
+      pa.stage[static_cast<int>(obs::PerfStage::TxZcPin)] += b * pa.tx_pb.zc_pin;
+      pa.stage[static_cast<int>(obs::PerfStage::TxZcNotify)] += b * pa.tx_pb.zc_notify;
+      pa.stage[static_cast<int>(obs::PerfStage::TxZcFallback)] += b * pa.tx_pb.zc_fallback;
+      pa.consumed[static_cast<int>(obs::PerfCore::SndApp)] += b * pa.tx_pb.total();
+      pa.bytes_sent += b;
+    }
     const int segments = static_cast<int>(std::ceil(s.gso_bytes / s.mss));
     s.res.segments_sent += static_cast<std::uint64_t>(segments);
     if (s.tel) {
@@ -342,6 +395,58 @@ PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
       }
       s.tel->link_ss_cross_check();
     }
+    if (s.tel->wants_perf()) {
+      s.perf = std::make_unique<SimState::PerfAccum>();
+      auto& pa = *s.perf;
+      // TX stage prices come from the same TxPathConfig that priced
+      // tx_prep_ns, so stage sums track the engine's scalar charge exactly.
+      pa.tx_pb = snd_cost.tx_app_stage_cyc(txc);
+      // RX: per-wire-segment stage cycles. When rx_segment_ns_override pins
+      // the service time, rescale the stage shares so their sum equals the
+      // cycles the override actually spends per segment.
+      const auto rx_pb = rcv_cost.rx_app_stage_cyc(rxc);
+      double scale = 1.0;
+      if (cfg.rx_segment_ns_override > 0) {
+        const double per_seg_total = rx_pb.total() * s.mss;
+        const double override_cyc =
+            cfg.rx_segment_ns_override * receiver.app_core_hz() / 1e9;
+        scale = per_seg_total > 0.0 ? override_cyc / per_seg_total : 0.0;
+      }
+      pa.rx_seg_syscall = rx_pb.syscall * s.mss * scale;
+      pa.rx_seg_frag_walk = rx_pb.frag_walk * s.mss * scale;
+      pa.rx_seg_copyout = rx_pb.copyout * s.mss * scale;
+      pa.snd_hz = sender.app_core_hz();
+      pa.rcv_hz = receiver.app_core_hz();
+      // Everything below only *reads* SimState. The packet engine runs one
+      // app core per side and prices no IRQ context, so the snd_irq/rcv_irq
+      // groups report zero consumed against zero capacity.
+      s.tel->perf().set_source([&s](Nanos now) {
+        obs::PerfReport r;
+        r.ts = now;
+        r.engine = "packet";
+        const auto& a = *s.perf;
+        for (int i = 0; i < obs::kPerfStageCount; ++i) {
+          r.stage_cycles[static_cast<std::size_t>(i)] = a.stage[static_cast<std::size_t>(i)];
+        }
+        for (int c = 0; c < obs::kPerfCoreCount; ++c) {
+          r.consumed_cycles[static_cast<std::size_t>(c)] =
+              a.consumed[static_cast<std::size_t>(c)];
+        }
+        const double sec = units::to_seconds(now);
+        r.capacity_cycles[static_cast<int>(obs::PerfCore::SndApp)] = sec * a.snd_hz;
+        r.capacity_cycles[static_cast<int>(obs::PerfCore::RcvApp)] = sec * a.rcv_hz;
+        r.bytes_sent = a.bytes_sent;
+        r.bytes_delivered = s.res.delivered_bytes;
+        obs::PerfFlowCycles fc;
+        fc.flow = 0;
+        fc.stage_cycles.assign(a.stage.begin(), a.stage.end());
+        r.flows.push_back(std::move(fc));
+        return r;
+      });
+      if (s.tel->config().perf_interval > 0) {
+        s.tel->perf().arm(s.engine, s.tel->config().perf_interval, horizon);
+      }
+    }
     // Probe armed after the ss watch: coincident samples see a fresh report.
     s.tel->probe().arm(s.engine, horizon, [&s](Nanos now) {
       const double sec = units::to_seconds(now);
@@ -362,12 +467,14 @@ PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
     // cross-check compares its delivered counter against the ss report at
     // this same timestamp.
     if (s.tel->wants_ss()) s.tel->ss().final_sample(s.engine.now());
+    if (s.tel->wants_perf()) s.tel->perf().final_sample(s.engine.now());
     // Closing sample: the default 1 s cadence never fires inside a 50 ms
     // horizon, and a shared probe table must still pick up the pkt.* columns.
     s.tel->probe().sample(s.engine.now());
-    // The snapshot lambda captures this frame's SimState; detach it before
+    // The snapshot lambdas capture this frame's SimState; detach them before
     // the Telemetry (which outlives this call) can sample a dead frame.
     if (s.tel->wants_ss()) s.tel->ss().set_source(nullptr);
+    if (s.tel->wants_perf()) s.tel->perf().set_source(nullptr);
   }
 
   s.res.achieved_bps =

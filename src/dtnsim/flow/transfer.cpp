@@ -25,6 +25,14 @@ double scale_factor(double need, double budget) {
   return std::clamp(budget / need, 0.0, 1.0);
 }
 
+// Credits `cycles` to one perf stage, in both the run total and the flow's
+// row (Accum is Instruments::PerfAccum; templated to reach the private type).
+template <typename Accum>
+void add_stage(Accum& pa, std::size_t fi, obs::PerfStage st, double cycles) {
+  pa.stage[static_cast<int>(st)] += cycles;
+  pa.flow_stage[fi][static_cast<int>(st)] += cycles;
+}
+
 }  // namespace
 
 TransferSimulation::TransferSimulation(TransferConfig cfg)
@@ -168,6 +176,16 @@ void TransferSimulation::setup_telemetry(sim::Engine& engine) {
     tel_->link_ss_cross_check();
   }
 
+  if (tel_->wants_perf()) {
+    in.perf = std::make_unique<Instruments::PerfAccum>();
+    in.perf->flow_stage.assign(flows_.size(), {});
+    in.perf->tx_pb.assign(flows_.size(), {});
+    tel_->perf().set_source([this](Nanos now) { return build_perf_report(now); });
+    if (tel_->config().perf_interval > 0) {
+      tel_->perf().arm(engine, tel_->config().perf_interval, cfg_.duration.nanos());
+    }
+  }
+
   tel_->trace().begin("transfer", "run", engine.now());
   tel_->probe().arm(engine, cfg_.duration.nanos());
 }
@@ -204,6 +222,12 @@ TransferResult TransferSimulation::run() {
     // `this` and the Telemetry outlives this call.
     tel_->ss().final_sample(engine.now());
     tel_->ss().set_source(nullptr);
+  }
+  if (tel_ && tel_->wants_perf()) {
+    // Same discipline as the ss watch: one attributed end-of-run report,
+    // then detach the source before this frame dies.
+    tel_->perf().final_sample(engine.now());
+    tel_->perf().set_source(nullptr);
   }
   if (tel_) tel_->trace().end("transfer", "run", engine.now());
   log::info("transfer done: %.2f Gbps delivered, %.0f segments retransmitted",
@@ -281,7 +305,7 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
   const double rcv_dma_bytes = receiver_.dma_cap_bps() * dt_sec / 8.0;
 
   // ---- Sender: plan each flow -------------------------------------------
-  double snd_app_used = 0.0;
+  units::Cycles snd_app_used{0.0};
   // Flow 0's planning intermediates, kept to name the binding constraint.
   double f0_wnd_desired = 0.0, f0_paced_desired = 0.0, f0_cpu_cap = 0.0;
   for (auto& f : flows_) {
@@ -315,6 +339,12 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
     txc.cache_mult = snd_cost_->cache_pressure_mult(
         std::min(f.prev_sent_bytes * rtt / dt_sec, wnd));
     f.tx_app_cyc_per_byte = snd_cost_->tx_app_cyc_per_byte(txc);
+    if (in && in->perf) {
+      // Stage split of the price just computed — same TxPathConfig, so the
+      // stage fields sum back to f.tx_app_cyc_per_byte (fp rounding aside).
+      const std::size_t fi = static_cast<std::size_t>(&f - flows_.data());
+      in->perf->tx_pb[fi] = snd_cost_->tx_app_stage_cyc(txc);
+    }
 
     const double cpu_cap = snd_app_budget * f.share_jitter /
                            std::max(f.tx_app_cyc_per_byte, 1e-9);
@@ -331,6 +361,8 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
   irq_cfg.gso_bytes = gso;
   irq_cfg.mtu_bytes = mtu;
   const double tx_irq_pb = snd_cost_->tx_irq_cyc_per_byte(irq_cfg);
+  cpu::TxIrqStageCyc tx_irq_spb{};
+  if (in && in->perf) tx_irq_spb = snd_cost_->tx_irq_stage_cyc(irq_cfg);
 
   double total_planned = 0.0, total_irq_need = 0.0, total_mem_need = 0.0;
   for (auto& f : flows_) {
@@ -346,7 +378,7 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
   const double s_mem = scale_factor(total_mem_need, snd_mem_budget);
   const double s = std::min(std::min(s_irq, s_line), std::min(s_dma, s_mem));
 
-  double snd_irq_used = 0.0;
+  units::Cycles snd_irq_used{0.0};
   const bool paced_traffic = fq_rate > 0.0 || flows_[0].cc->self_paced();
   double group_sent = 0.0;
   for (auto& f : flows_) {
@@ -359,9 +391,30 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
       f.zc_planned = f.fb_planned = 0.0;
     }
     f.inflight_bytes = f.sent_bytes;
-    snd_app_used += f.sent_bytes * f.tx_app_cyc_per_byte;
-    snd_irq_used += f.sent_bytes * tx_irq_pb;
+    snd_app_used += units::Cycles(f.sent_bytes * f.tx_app_cyc_per_byte);
+    snd_irq_used += units::Cycles(f.sent_bytes * tx_irq_pb);
     group_sent += f.sent_bytes;
+    if (in && in->perf) {
+      // Split the exact charges above into stages; per-byte stage prices
+      // come from the planning loop's TxPathConfig (app) and the shared
+      // geometry config (irq), so stage sums equal the scalar charges.
+      auto& pa = *in->perf;
+      const std::size_t fi = static_cast<std::size_t>(&f - flows_.data());
+      const auto& pb = pa.tx_pb[fi];
+      add_stage(pa, fi, obs::PerfStage::TxSyscall, f.sent_bytes * pb.syscall);
+      add_stage(pa, fi, obs::PerfStage::TxProto, f.sent_bytes * pb.proto);
+      add_stage(pa, fi, obs::PerfStage::TxUserCopy, f.sent_bytes * pb.user_copy);
+      add_stage(pa, fi, obs::PerfStage::TxZcPin, f.sent_bytes * pb.zc_pin);
+      add_stage(pa, fi, obs::PerfStage::TxZcNotify, f.sent_bytes * pb.zc_notify);
+      add_stage(pa, fi, obs::PerfStage::TxZcFallback, f.sent_bytes * pb.zc_fallback);
+      add_stage(pa, fi, obs::PerfStage::TxGsoSegment, f.sent_bytes * tx_irq_spb.gso_segment);
+      add_stage(pa, fi, obs::PerfStage::TxDmaMap, f.sent_bytes * tx_irq_spb.dma_map);
+      add_stage(pa, fi, obs::PerfStage::TxCompletion, f.sent_bytes * tx_irq_spb.completion);
+      pa.consumed[static_cast<int>(obs::PerfCore::SndApp)] +=
+          f.sent_bytes * f.tx_app_cyc_per_byte;
+      pa.consumed[static_cast<int>(obs::PerfCore::SndIrq)] += f.sent_bytes * tx_irq_pb;
+      pa.bytes_sent += f.sent_bytes;
+    }
   }
 
   if (in) {
@@ -541,6 +594,12 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
   const double rx_app_pb = rcv_cost_->rx_app_cyc_per_byte(rxc);
   const double rx_irq_pb = rcv_cost_->rx_irq_cyc_per_byte(rxc);
   const double rx_mem_passes = rcv_cost_->rx_mem_passes(rxc);
+  cpu::RxAppStageCyc rx_app_spb{};
+  cpu::RxIrqStageCyc rx_irq_spb{};
+  if (in && in->perf) {
+    rx_app_spb = rcv_cost_->rx_app_stage_cyc(rxc);
+    rx_irq_spb = rcv_cost_->rx_irq_stage_cyc(rxc);
+  }
 
   double total_accepted = 0.0;
   double tick_nic_drops = 0.0, tick_ring_occ = 0.0;
@@ -623,7 +682,7 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
   }
 
   // ---- Receiver app drain --------------------------------------------------
-  double rcv_app_used = 0.0;
+  units::Cycles rcv_app_used{0.0};
   double interval_bytes_this_tick = 0.0;
   double drain_min = 0.0, drain_max = 0.0;
   for (std::size_t fi = 0; fi < flows_.size(); ++fi) {
@@ -633,7 +692,22 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
     f.rcv_backlog_bytes = std::max(f.rcv_backlog_bytes + f.arrived_bytes - drain, 0.0);
     f.delivered_bytes += drain;
     interval_bytes_this_tick += drain;
-    rcv_app_used += drain * rx_app_pb;
+    rcv_app_used += units::Cycles(drain * rx_app_pb);
+    if (in && in->perf) {
+      // RX charge split: IRQ-side work scales with what the NIC accepted
+      // (post-verdict arrived bytes — summing to total_accepted), app-side
+      // work with what the application actually drained this round.
+      auto& pa = *in->perf;
+      add_stage(pa, fi, obs::PerfStage::RxSkbAlloc, f.arrived_bytes * rx_irq_spb.skb_alloc);
+      add_stage(pa, fi, obs::PerfStage::RxGroMerge, f.arrived_bytes * rx_irq_spb.gro_merge);
+      add_stage(pa, fi, obs::PerfStage::RxAggFlush, f.arrived_bytes * rx_irq_spb.agg_flush);
+      add_stage(pa, fi, obs::PerfStage::RxCsum, f.arrived_bytes * rx_irq_spb.csum);
+      add_stage(pa, fi, obs::PerfStage::RxSyscall, drain * rx_app_spb.syscall);
+      add_stage(pa, fi, obs::PerfStage::RxFragWalk, drain * rx_app_spb.frag_walk);
+      add_stage(pa, fi, obs::PerfStage::RxCopyout, drain * rx_app_spb.copyout);
+      pa.consumed[static_cast<int>(obs::PerfCore::RcvIrq)] += f.arrived_bytes * rx_irq_pb;
+      pa.consumed[static_cast<int>(obs::PerfCore::RcvApp)] += drain * rx_app_pb;
+    }
     if (fi == 0) {
       drain_min = drain_max = drain;
     } else {
@@ -695,15 +769,28 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
   // Jitter lets a flow momentarily exceed its nominal budget; mpstat would
   // still read 100%, so clamp.
   const double snd_app_u = std::min(
-      snd_app_used / (snd_app_budget * static_cast<double>(flows_.size())), 1.0);
-  const double snd_irq_u = std::min(snd_irq_used / snd_irq_budget, 1.0);
+      snd_app_used.value() / (snd_app_budget * static_cast<double>(flows_.size())), 1.0);
+  const double snd_irq_u = std::min(snd_irq_used.value() / snd_irq_budget, 1.0);
   const double rcv_app_u = std::min(
-      rcv_app_used / (rcv_app_budget * static_cast<double>(flows_.size())), 1.0);
+      rcv_app_used.value() / (rcv_app_budget * static_cast<double>(flows_.size())), 1.0);
   const double rcv_irq_u = std::min(total_accepted * rx_irq_pb / rcv_irq_budget, 1.0);
   snd_app_util_.add(snd_app_u);
   snd_irq_util_.add(snd_irq_u);
   rcv_app_util_.add(rcv_app_u);
   rcv_irq_util_.add(rcv_irq_u);
+
+  if (in && in->perf) {
+    // Budget offered this tick, per core group (the capacity side of the
+    // perf.*_util gauges). App budgets are per flow; IRQ budgets are pooled.
+    auto& pa = *in->perf;
+    pa.capacity[static_cast<int>(obs::PerfCore::SndApp)] +=
+        snd_app_budget * static_cast<double>(flows_.size());
+    pa.capacity[static_cast<int>(obs::PerfCore::SndIrq)] += snd_irq_budget;
+    pa.capacity[static_cast<int>(obs::PerfCore::RcvApp)] +=
+        rcv_app_budget * static_cast<double>(flows_.size());
+    pa.capacity[static_cast<int>(obs::PerfCore::RcvIrq)] += rcv_irq_budget;
+    pa.bytes_delivered += interval_bytes_this_tick;
+  }
 
   if (in) {
     auto& trace = tel_->trace();
@@ -850,6 +937,30 @@ obs::SsReport TransferSimulation::build_ss_report(Nanos now) const {
     r.qdisc.sent_bytes = ssa->qdisc_sent_bytes;
     r.qdisc.throttled = ssa->qdisc_throttled;
     r.qdisc.pacing_delay_sec = ssa->qdisc_pacing_delay_sec;
+  }
+  return r;
+}
+
+obs::PerfReport TransferSimulation::build_perf_report(Nanos now) const {
+  obs::PerfReport r;
+  r.ts = now;
+  r.engine = "fluid";
+  const Instruments::PerfAccum* pa = instr_ ? instr_->perf.get() : nullptr;
+  if (!pa) return r;
+  for (int i = 0; i < obs::kPerfStageCount; ++i) r.stage_cycles[i] = pa->stage[i];
+  for (int c = 0; c < obs::kPerfCoreCount; ++c) {
+    r.consumed_cycles[c] = pa->consumed[c];
+    r.capacity_cycles[c] = pa->capacity[c];
+  }
+  r.bytes_sent = pa->bytes_sent;
+  r.bytes_delivered = pa->bytes_delivered;
+  for (std::size_t fi = 0; fi < pa->flow_stage.size(); ++fi) {
+    obs::PerfFlowCycles f;
+    f.flow = static_cast<int>(fi);
+    for (int i = 0; i < obs::kPerfStageCount; ++i) {
+      f.stage_cycles[i] = pa->flow_stage[fi][i];
+    }
+    r.flows.push_back(std::move(f));
   }
   return r;
 }

@@ -11,6 +11,7 @@
 // feedback updates congestion control and zerocopy optmem charges.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -183,6 +184,22 @@ class TransferSimulation {
       double qdisc_pacing_delay_sec = 0.0;
     };
     std::unique_ptr<SsAccum> ss;
+    // Exact per-stage cycle attribution (dtnsim-perf). Allocated only when
+    // the attached Telemetry wants perf, so an unprofiled run executes zero
+    // attribution updates (the same zero-cost guarantee as SsAccum).
+    struct PerfAccum {
+      std::array<double, obs::kPerfStageCount> stage{};    // run totals
+      std::array<double, obs::kPerfCoreCount> consumed{};  // engine charges
+      std::array<double, obs::kPerfCoreCount> capacity{};  // budget offered
+      std::vector<std::array<double, obs::kPerfStageCount>> flow_stage;
+      double bytes_sent = 0.0;
+      double bytes_delivered = 0.0;
+      // Per-tick scratch: each flow's TX stage prices, from the same
+      // TxPathConfig that priced the tick's scalar charge — which is what
+      // makes the stage-sum == consumed cross-check hold.
+      std::vector<cpu::TxAppStageCyc> tx_pb;
+    };
+    std::unique_ptr<PerfAccum> perf;
   };
 
   void tick(double dt_sec, double now_sec);
@@ -193,6 +210,10 @@ class TransferSimulation {
   // blocks (dtnsim-ss's payload). Only meaningful while a telemetry sink
   // with ss enabled is attached; pure read of engine state.
   obs::SsReport build_ss_report(Nanos now) const;
+  // Copy the perf accumulator into a report (dtnsim-perf's payload). Only
+  // meaningful while a telemetry sink with perf enabled is attached; pure
+  // read of engine state.
+  obs::PerfReport build_perf_report(Nanos now) const;
 
   TransferConfig cfg_;
   host::Host sender_;

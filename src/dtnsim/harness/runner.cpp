@@ -59,6 +59,8 @@ TestResult run_test(const TestSpec& spec) {
         out.trace = std::shared_ptr<const obs::TraceSink>(tel, &tel->trace());
         out.ss_log = tel->ss().log();
         for (auto& rep : out.ss_log) rep.label = spec.name;
+        out.perf_log = tel->perf().log();
+        for (auto& rep : out.perf_log) rep.label = spec.name;
       }
       cfg.telemetry = nullptr;
     }

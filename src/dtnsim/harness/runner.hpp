@@ -64,6 +64,9 @@ struct TestResult {
   // Populated only when spec.telemetry.ss_enabled: repeat 0's dtnsim-ss
   // snapshot log (every watch sample plus the end-of-run sample).
   std::vector<obs::SsReport> ss_log;
+  // Populated only when spec.telemetry.perf_enabled: repeat 0's dtnsim-perf
+  // attribution log (every sampler firing plus the end-of-run report).
+  std::vector<obs::PerfReport> perf_log;
 };
 
 TestResult run_test(const TestSpec& spec);

@@ -1,0 +1,185 @@
+// Simulated `perf`: exact per-stage CPU-cycle attribution.
+//
+// The paper's throughput story is a cycles story, and its evidence is perf
+// profiles — data copy dominating the RX path at 100G, MSG_ZEROCOPY moving
+// TX cycles from copy_user to page pinning. cpu/cost_model already prices
+// every kernel-path stage in cycles/byte and cpu/budget meters consumption
+// per core; this header is the `perf report` view over those charges: a
+// fixed stage taxonomy named after the real kernel symbols, a PerfReport
+// carrying per-core and per-flow cycle totals, text renderers (perf
+// report-style table + Brendan Gregg collapsed stacks), a JSON round-trip
+// for dtnsim-perf --json/--replay, and PerfWatch — an SsWatch-style
+// self-rescheduling sampler with perf.* mirror gauges.
+//
+// Attribution is exact, not sampled: each engine splits the exact charge it
+// makes against its core budgets into stages, so summed stage cycles must
+// equal the consumed-cycle figure to fp rounding. cross_check_stage_sum
+// enforces that identity at every sample.
+//
+// Layering: obs sits below cpu/flow, so these are plain-data structs; the
+// decomposition math lives in cpu::CostModel (tx_app_stage_cyc & friends)
+// and each engine registers a PerfSnapshotFn that copies its accumulator
+// into a report. Snapshot sources only read.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dtnsim/obs/metrics.hpp"
+#include "dtnsim/obs/trace.hpp"
+#include "dtnsim/sim/engine.hpp"
+#include "dtnsim/util/json.hpp"
+
+namespace dtnsim::obs {
+
+// The four core groups the budget model meters. Order is the report order.
+enum class PerfCore { SndApp = 0, SndIrq = 1, RcvApp = 2, RcvIrq = 3 };
+inline constexpr int kPerfCoreCount = 4;
+
+// The stage taxonomy: one entry per cost-model term, named after the kernel
+// symbol the term stands in for (docs/OBSERVABILITY.md has the full table).
+// Values are stable indices into PerfReport::stage_cycles.
+enum class PerfStage {
+  // snd_app — sendmsg path on the application cores.
+  TxSyscall = 0,     // tcp_sendmsg_locked: per-GSO-skb syscall/skb setup
+  TxProto = 1,       // tcp_write_xmit: per-byte protocol bookkeeping
+  TxUserCopy = 2,    // copy_user_enhanced_fast_string: user->skb copy
+  TxZcPin = 3,       // zerocopy_sg_from_iter: page pinning (MSG_ZEROCOPY)
+  TxZcNotify = 4,    // msg_zerocopy_callback: error-queue completions
+  TxZcFallback = 5,  // skb_zerocopy_iter_stream: pin failed, copied anyway
+  // snd_irq — segmentation + device queue on the IRQ cores.
+  TxGsoSegment = 6,  // tcp_gso_segment / skb_segment: per-MTU residue
+  TxDmaMap = 7,      // dma_map_page_attrs + doorbell (IOMMU mode dependent)
+  TxCompletion = 8,  // mlx5e_poll_tx_cq / skb_release_data: TX completions
+  // rcv_irq — NAPI poll on the receiver IRQ cores.
+  RxSkbAlloc = 9,    // mlx5e_skb_from_cqe + dma_unmap: per-packet skb setup
+  RxGroMerge = 10,   // gro_receive: per-packet coalescing work
+  RxAggFlush = 11,   // napi_gro_flush / tcp_v4_rcv: per-aggregate delivery
+  RxCsum = 12,       // csum_partial / tcp validation: per-byte checksum
+  // rcv_app — recvmsg path on the receiver application cores.
+  RxSyscall = 13,    // tcp_recvmsg + sock_def_readable: per-aggregate wakeup
+  RxFragWalk = 14,   // skb frag walk + cmsg: per-MTU-fragment app residue
+  RxCopyout = 15,    // skb_copy_datagram_iter (or MSG_TRUNC skip: zero)
+};
+inline constexpr int kPerfStageCount = 16;
+
+// Short taxonomy name, e.g. "tx_user_copy" (JSON keys, flamegraph frames).
+const char* perf_stage_name(PerfStage s);
+// The kernel symbol the stage mirrors, e.g. "copy_user_enhanced_fast_string".
+const char* perf_stage_symbol(PerfStage s);
+// Which core group the stage's cycles land on.
+PerfCore perf_stage_core(PerfStage s);
+const char* perf_core_name(PerfCore c);
+
+// Cycles one flow burned, by stage. Index with static_cast<int>(PerfStage).
+struct PerfFlowCycles {
+  PerfFlowCycles() : stage_cycles(kPerfStageCount, 0.0) {}
+  int flow = 0;
+  std::vector<double> stage_cycles;
+};
+
+// One dtnsim-perf sample: the whole run's attribution as of time `ts`.
+// stage_cycles is the exact split; consumed_cycles is what the engine
+// actually charged its budgets per core group (the two must agree — see
+// cross_check_stage_sum); capacity_cycles is the budget offered so far.
+struct PerfReport {
+  PerfReport()
+      : stage_cycles(kPerfStageCount, 0.0),
+        consumed_cycles(kPerfCoreCount, 0.0),
+        capacity_cycles(kPerfCoreCount, 0.0) {}
+
+  Nanos ts = 0;
+  std::string engine;  // "fluid" | "packet"
+  std::string label;   // test/cell name (merged dumps)
+  double bytes_sent = 0.0;
+  double bytes_delivered = 0.0;
+  std::vector<double> stage_cycles;     // kPerfStageCount entries
+  std::vector<double> consumed_cycles;  // kPerfCoreCount entries
+  std::vector<double> capacity_cycles;  // kPerfCoreCount entries
+  std::vector<PerfFlowCycles> flows;
+
+  // Summed stage cycles for one core group / all groups.
+  double core_stage_cycles(PerfCore c) const;
+  double total_cycles() const;
+  // consumed/capacity for the group, clamped to [0, 1]; 0 when no capacity
+  // was metered (the packet engine models no IRQ cores).
+  double core_utilization(PerfCore c) const;
+  // Headline efficiency figures (perf.* mirror gauges).
+  double tx_cyc_per_byte() const;  // snd-side stages / bytes_sent
+  double rx_cyc_per_byte() const;  // rcv-side stages / bytes_delivered
+};
+
+// ---- text renderers -------------------------------------------------------
+// `perf report`-style table: Children/Self overhead, cycles, core, symbol —
+// core header rows (Children = the group's share of all cycles) followed by
+// that group's stages sorted by self cycles.
+std::string format_perf_report(const PerfReport& r);
+// Brendan Gregg collapsed-stack lines: "engine;core;symbol cycles\n",
+// ready for flamegraph.pl. Zero-cycle stages are omitted.
+std::string format_flamegraph(const PerfReport& r);
+
+// ---- JSON round-trip (dtnsim-perf --json / --replay) ----------------------
+Json to_json(const PerfReport& r);
+PerfReport perf_report_from_json(const Json& j);
+// A watch log as one document: {"samples": [...]}.
+Json perf_log_to_json(const std::vector<PerfReport>& log);
+std::vector<PerfReport> perf_log_from_json(const Json& doc);
+bool write_perf_log(const std::string& path, const std::vector<PerfReport>& log);
+
+// Builds the current report on demand; installed by the engine that owns
+// the run. Must only *read* engine state (sampling is observation).
+using PerfSnapshotFn = std::function<PerfReport(Nanos)>;
+
+// The attribution integrity check: for every core group, summed stage
+// cycles must equal the consumed-cycle figure the engine charged against
+// its CoreBudget accounting, to fp rounding. Throws std::logic_error on
+// divergence — a stage split that doesn't add up to the charge would make
+// the whole perf view a fabrication. PerfWatch runs this on every sample.
+void cross_check_stage_sum(const PerfReport& report);
+
+// The `perf`-side sampler. Like SsWatch it self-reschedules on the engine
+// clock; each firing pulls a report from the installed PerfSnapshotFn,
+// cross-checks the stage sums, appends to the in-memory log, and mirrors
+// headline figures into perf.* registry gauges plus a trace instant. With
+// no source installed sampling throws (arming without an engine is a setup
+// bug).
+class PerfWatch {
+ public:
+  // `registry` must outlive the watch. `trace` may be null (no mirroring).
+  explicit PerfWatch(Registry* registry, TraceSink* trace = nullptr);
+
+  void set_source(PerfSnapshotFn fn) { source_ = std::move(fn); }
+  bool has_source() const { return static_cast<bool>(source_); }
+
+  // Take one sample now. Returns the stored report.
+  const PerfReport& sample(Nanos now);
+  // End-of-run sample; replaces a coincident-timestamp in-run sample the
+  // same way SsWatch::final_sample does.
+  void final_sample(Nanos now);
+
+  // Schedule sampling at interval, 2*interval, ... <= horizon.
+  void arm(sim::Engine& engine, Nanos interval, Nanos horizon);
+
+  const std::vector<PerfReport>& log() const { return log_; }
+  std::size_t samples_taken() const { return log_.size(); }
+  void clear_log() { log_.clear(); }
+
+ private:
+  void mirror(const PerfReport& r);
+
+  Registry* registry_;
+  TraceSink* trace_;
+  PerfSnapshotFn source_;
+  std::vector<PerfReport> log_;
+  std::shared_ptr<std::function<void()>> fire_;  // owner of the sampler event
+
+  // perf.* mirror gauges, registered on first sample so a watch-less run
+  // never widens the metric table.
+  Gauge* g_tx_cyc_pb_ = nullptr;
+  Gauge* g_rx_cyc_pb_ = nullptr;
+  Gauge* g_total_cycles_ = nullptr;
+  Gauge* g_util_[kPerfCoreCount] = {nullptr, nullptr, nullptr, nullptr};
+};
+
+}  // namespace dtnsim::obs

@@ -101,6 +101,87 @@ std::string format_ss(const SsReport& r) {
   return out;
 }
 
+namespace {
+
+// One diff row: field name, both values, signed delta (and percent when the
+// base is nonzero). `unit` is a short suffix printed after each value.
+void diff_row(std::string& out, const char* field, double a, double b,
+              const char* unit = "") {
+  std::string delta = strfmt("%+.6g%s", b - a, unit);
+  if (a != 0.0) delta += strfmt(" (%+.1f%%)", (b - a) / std::abs(a) * 100.0);
+  out += strfmt("  %-26s %16.6g%-5s %16.6g%-5s %s\n", field, a, unit, b, unit,
+                b == a ? "=" : delta.c_str());
+}
+
+}  // namespace
+
+std::string format_ss_diff(const SsReport& a, const SsReport& b) {
+  const auto head = [](const SsReport& r, const char* tag) {
+    return strfmt("#   %s: t=%.3fs engine=%s%s%s%s\n", tag, units::to_seconds(r.ts),
+                  r.engine.c_str(), r.label.empty() ? "" : " label=\"",
+                  r.label.c_str(), r.label.empty() ? "" : "\"");
+  };
+  std::string out = "# dtnsim-ss diff (B - A)\n";
+  out += head(a, "A");
+  out += head(b, "B");
+  out += strfmt("  %-26s %21s %21s %s\n", "field", "A", "B", "delta");
+
+  const TcpInfoSnapshot ea{};  // all-zero stand-in when a side has no sockets
+  const TcpInfoSnapshot& fa = a.sockets.empty() ? ea : a.sockets.front();
+  const TcpInfoSnapshot& fb = b.sockets.empty() ? ea : b.sockets.front();
+  const auto sum = [](const SsReport& r, double TcpInfoSnapshot::* field) {
+    double total = 0.0;
+    for (const auto& s : r.sockets) total += s.*field;
+    return total;
+  };
+
+  diff_row(out, "sockets", static_cast<double>(a.sockets.size()),
+           static_cast<double>(b.sockets.size()));
+  // Window dynamics from the representative flow 0, like format_tcp_info.
+  diff_row(out, "cwnd (flow 0)", fa.snd_cwnd_bytes, fb.snd_cwnd_bytes, "B");
+  diff_row(out, "ssthresh (flow 0)", fa.snd_ssthresh_bytes, fb.snd_ssthresh_bytes, "B");
+  diff_row(out, "rtt (flow 0)", fa.rtt_sec * 1e3, fb.rtt_sec * 1e3, "ms");
+  diff_row(out, "minrtt (flow 0)", fa.min_rtt_sec * 1e3, fb.min_rtt_sec * 1e3, "ms");
+  diff_row(out, "pacing_rate (flow 0)", fa.pacing_rate_bps / 1e9,
+           fb.pacing_rate_bps / 1e9, "Gbps");
+  // Totals across sockets, the aggregate iperf3 view.
+  diff_row(out, "send_rate", a.total_delivery_rate_bps() / 1e9,
+           b.total_delivery_rate_bps() / 1e9, "Gbps");
+  diff_row(out, "bytes_sent", sum(a, &TcpInfoSnapshot::bytes_sent),
+           sum(b, &TcpInfoSnapshot::bytes_sent), "B");
+  diff_row(out, "bytes_acked", a.total_bytes_acked(), b.total_bytes_acked(), "B");
+  diff_row(out, "bytes_retrans", sum(a, &TcpInfoSnapshot::bytes_retrans),
+           sum(b, &TcpInfoSnapshot::bytes_retrans), "B");
+  diff_row(out, "retrans_segs", sum(a, &TcpInfoSnapshot::segs_retrans),
+           sum(b, &TcpInfoSnapshot::segs_retrans));
+  diff_row(out, "notsent", sum(a, &TcpInfoSnapshot::notsent_bytes),
+           sum(b, &TcpInfoSnapshot::notsent_bytes), "B");
+  diff_row(out, "zc_sent", sum(a, &TcpInfoSnapshot::zc_sent_bytes),
+           sum(b, &TcpInfoSnapshot::zc_sent_bytes), "B");
+  diff_row(out, "zc_copied", sum(a, &TcpInfoSnapshot::zc_copied_bytes),
+           sum(b, &TcpInfoSnapshot::zc_copied_bytes), "B");
+  diff_row(out, "zc_fallback_sends", sum(a, &TcpInfoSnapshot::zc_copied_sends),
+           sum(b, &TcpInfoSnapshot::zc_copied_sends));
+  diff_row(out, "optmem_hiwater", sum(a, &TcpInfoSnapshot::optmem_hiwater_bytes),
+           sum(b, &TcpInfoSnapshot::optmem_hiwater_bytes), "B");
+  // NIC and qdisc counter blocks.
+  diff_row(out, "nic.rx_bytes", a.nic.rx_bytes, b.nic.rx_bytes, "B");
+  diff_row(out, "nic.rx_dropped_bytes", a.nic.rx_dropped_bytes,
+           b.nic.rx_dropped_bytes, "B");
+  diff_row(out, "nic.rx_dropped_events", a.nic.rx_dropped_events,
+           b.nic.rx_dropped_events);
+  diff_row(out, "nic.ring_hiwater_frac", a.nic.rx_ring_hiwater_frac,
+           b.nic.rx_ring_hiwater_frac);
+  diff_row(out, "nic.tx_pause_frames", a.nic.tx_pause_frames, b.nic.tx_pause_frames);
+  diff_row(out, "nic.hw_gro_coalesced", a.nic.hw_gro_coalesced, b.nic.hw_gro_coalesced);
+  diff_row(out, "qdisc.sent_bytes", a.qdisc.sent_bytes, b.qdisc.sent_bytes, "B");
+  diff_row(out, "qdisc.throttled", a.qdisc.throttled, b.qdisc.throttled);
+  diff_row(out, "qdisc.pacing_delay", a.qdisc.pacing_delay_sec * 1e3,
+           b.qdisc.pacing_delay_sec * 1e3, "ms");
+  diff_row(out, "qdisc.drops", a.qdisc.drops, b.qdisc.drops);
+  return out;
+}
+
 Json to_json(const TcpInfoSnapshot& s) {
   Json j = Json::object();
   j["flow"] = s.flow;

@@ -102,6 +102,10 @@ std::string format_ethtool(const NicCountersSnapshot& s);
 std::string format_tc(const QdiscCountersSnapshot& s);
 // Full report: per-socket blocks + NIC + qdisc sections.
 std::string format_ss(const SsReport& r);
+// Side-by-side comparison of two reports (`dtnsim-ss --diff sick.json
+// tuned.json`): one row per headline field with the B-A delta, so a "sick"
+// and a "tuned" recording of the same scenario can be read in one table.
+std::string format_ss_diff(const SsReport& a, const SsReport& b);
 
 // ---- JSON round-trip (dtnsim-ss --json / --replay) -----------------------
 Json to_json(const TcpInfoSnapshot& s);

@@ -36,6 +36,18 @@ void validate(const TelemetryConfig& cfg) {
         "cadence on a disabled snapshot surface would silently sample "
         "nothing");
   }
+  if (cfg.perf_interval < 0) {
+    throw std::invalid_argument(strfmt(
+        "TelemetryConfig.perf_interval must be >= 0 (0 = final report only), "
+        "got %lld ns",
+        static_cast<long long>(cfg.perf_interval)));
+  }
+  if (cfg.perf_interval > 0 && !cfg.perf_enabled) {
+    throw std::invalid_argument(
+        "TelemetryConfig.perf_interval set without perf_enabled: a perf "
+        "sampling cadence on a disabled attribution surface would silently "
+        "sample nothing");
+  }
 }
 
 namespace {
@@ -55,7 +67,8 @@ Telemetry::Telemetry(TelemetryConfig cfg)
     : cfg_(std::move(cfg)),
       trace_((validate(cfg_), make_trace_sink(cfg_))),
       probe_(&registry_, cfg_.probe_interval, trace_.get()),
-      ss_(&registry_, trace_.get()) {}
+      ss_(&registry_, trace_.get()),
+      perf_(&registry_, trace_.get()) {}
 
 void Telemetry::link_ss_cross_check() {
   probe_.set_cross_check([this](Nanos now) {

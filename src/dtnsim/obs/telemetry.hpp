@@ -11,6 +11,7 @@
 #include <string>
 
 #include "dtnsim/obs/metrics.hpp"
+#include "dtnsim/obs/perf.hpp"
 #include "dtnsim/obs/probe.hpp"
 #include "dtnsim/obs/ss.hpp"
 #include "dtnsim/obs/trace.hpp"
@@ -36,12 +37,18 @@ struct TelemetryConfig {
   bool ss_enabled = false;
   // Watch cadence; 0 = final snapshot only (dtnsim-ss without --watch).
   Nanos ss_interval = 0;
+  // Exact per-stage cycle attribution (dtnsim-perf). Off by default: the
+  // engines allocate their perf accumulators only when enabled, so an
+  // unprofiled run pays nothing and its outputs stay bit-identical.
+  bool perf_enabled = false;
+  // Sampler cadence; 0 = final report only (dtnsim-perf without --record).
+  Nanos perf_interval = 0;
 };
 
 // Throws std::invalid_argument on a degenerate config (probe_interval <= 0,
-// trace_capacity == 0, stream_buffer_events == 0, ss_interval < 0 or set
-// without ss_enabled). Called by Telemetry's constructor; exposed for early
-// CLI-level validation.
+// trace_capacity == 0, stream_buffer_events == 0, ss_interval or
+// perf_interval < 0 or set without the matching enable bit). Called by
+// Telemetry's constructor; exposed for early CLI-level validation.
 void validate(const TelemetryConfig& cfg);
 
 class Telemetry {
@@ -57,8 +64,12 @@ class Telemetry {
   const SeriesTable& series() const { return probe_.series(); }
   SsWatch& ss() { return ss_; }
   const SsWatch& ss() const { return ss_; }
+  PerfWatch& perf() { return perf_; }
+  const PerfWatch& perf() const { return perf_; }
   // Whether the owning engine should build ss snapshot state at all.
   bool wants_ss() const { return cfg_.ss_enabled; }
+  // Whether the owning engine should meter per-stage cycles at all.
+  bool wants_perf() const { return cfg_.perf_enabled; }
   // Satellite cross-check: after installing a snapshot source, tie the
   // probe to the watch so every probe sample whose timestamp matches the
   // latest ss report asserts both surfaces agree on delivered bytes.
@@ -70,6 +81,7 @@ class Telemetry {
   std::unique_ptr<TraceSink> trace_;
   FlowProbe probe_;
   SsWatch ss_;
+  PerfWatch perf_;
 };
 
 // The sender-side constraint that bounded a round's achievable bytes —

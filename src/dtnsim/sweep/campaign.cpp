@@ -329,7 +329,7 @@ bool needs_value(const std::string& flag) {
          flag == "--ring" || flag == "--congestion" || flag == "--time" ||
          flag == "--repeats" || flag == "--seed" || flag == "--jobs" ||
          flag == "--cache" || flag == "--out" || flag == "--checkpoint" ||
-         flag == "--max-cells";
+         flag == "--max-cells" || flag == "--report";
 }
 
 }  // namespace
@@ -457,6 +457,8 @@ SweepCli parse_sweep_cli(const std::vector<std::string>& args) {
       o.run.checkpoint_path = value;
     } else if (flag == "--resume") {
       o.run.resume = true;
+    } else if (flag == "--report") {
+      o.report_path = value;
     } else if (flag == "--max-cells") {
       const long n = std::atol(value.c_str());
       if (n < 0) {
@@ -506,8 +508,63 @@ std::string sweep_cli_help() {
       "      --out FILE         stream one JSONL row per finished cell\n"
       "      --checkpoint FILE  manifest path (default: <out>.ckpt)\n"
       "      --resume           skip cells the manifest marks complete\n"
-      "      --max-cells K      stop after K cells (interrupt-style testing)\n";
+      "      --max-cells K      stop after K cells (interrupt-style testing)\n"
+      "      --report FILE      render the summary table from a finished\n"
+      "                         campaign's JSONL stream (no simulation)\n";
 }
+
+namespace {
+
+// `dtnsim-sweep --report results.jsonl`: re-render a finished campaign's
+// streamed rows as the paper-style summary table, offline. Rows whose cells
+// were served from a prior output (repeats == 0) are counted but not shown.
+int render_campaign_report(const std::string& path, std::string& output) {
+  std::ifstream in(path);
+  if (!in) {
+    output = strfmt("error: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::string name;
+  std::size_t rows = 0, cached = 0, skipped = 0;
+  std::string table;
+  table += strfmt("  %4s %-44s %16s %7s %7s %8s %4s %4s\n", "idx", "cell",
+                  "Gbps (avg±sd)", "min", "max", "retrans", "TX%", "RX%");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto doc = Json::parse(line);
+    if (!doc) continue;  // torn final line from an interrupt
+    if (name.empty()) name = doc->string_at("name", "");
+    const double repeats = doc->number_at("repeats", 0);
+    ++rows;
+    if (doc->bool_at("cached", false)) ++cached;
+    if (repeats <= 0) {  // resumed cell whose result lives in a prior stream
+      ++skipped;
+      continue;
+    }
+    // The row's name is the full spec label; coords alone are shorter but
+    // the label is what the live campaign output prints.
+    table += strfmt("  %4.0f %-44s %8.2f ± %5.2f %7.2f %7.2f %8.0f %4.0f %4.0f\n",
+                    doc->number_at("index", -1),
+                    doc->string_at("name", "?").c_str(),
+                    doc->number_at("avg_gbps", 0), doc->number_at("stdev_gbps", 0),
+                    doc->number_at("min_gbps", 0), doc->number_at("max_gbps", 0),
+                    doc->number_at("avg_retransmits", 0),
+                    doc->number_at("snd_cpu_pct", 0),
+                    doc->number_at("rcv_cpu_pct", 0));
+  }
+  if (rows == 0) {
+    output = strfmt("error: %s holds no result rows\n", path.c_str());
+    return 2;
+  }
+  output = strfmt("campaign report: %s (%zu rows, %zu cached", path.c_str(),
+                  rows, cached);
+  if (skipped > 0) output += strfmt(", %zu in prior streams", skipped);
+  output += ")\n" + table;
+  return 0;
+}
+
+}  // namespace
 
 int run_sweep_cli(const SweepCli& cli, std::string& output) {
   if (!cli.error.empty()) {
@@ -517,6 +574,9 @@ int run_sweep_cli(const SweepCli& cli, std::string& output) {
   if (cli.show_help) {
     output = sweep_cli_help();
     return 0;
+  }
+  if (!cli.report_path.empty()) {
+    return render_campaign_report(cli.report_path, output);
   }
 
   CampaignReport report;

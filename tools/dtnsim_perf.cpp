@@ -1,0 +1,150 @@
+// dtnsim-perf: the simulator's `perf record` / `perf report`.
+//
+// Runs a scenario (same flags as dtnsim-iperf3) with exact per-stage cycle
+// attribution enabled and renders each sample the way `perf report` would,
+// or emits collapsed stacks for flamegraph.pl, or replays a previously
+// written attribution log without re-simulating.
+//
+//   $ dtnsim-perf --testbed amlight --path LAN --kernel 6.5 -t 5
+//   $ dtnsim-perf --testbed esnet -Z --fq-rate 50G -t 5 --record 1 --flame
+//   $ dtnsim-perf --replay run.perf.json --report
+//
+// Tool-specific flags (everything else is forwarded to the shared CLI):
+//   --record SEC    sample every SEC of simulated time (alias: --perf-watch);
+//                   without it only the end-of-run report is taken
+//   --report        perf-report-style text output (the default)
+//   --flame         collapsed stacks (engine;core;symbol N) for flamegraph.pl
+//   --replay FILE   render FILE (a --perf-out / --json dump) and exit
+//   -J, --json      emit the attribution log as JSON instead of text
+//   --perf-out FILE additionally write the JSON log to FILE
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dtnsim/cli/cli.hpp"
+#include "dtnsim/obs/perf.hpp"
+
+namespace {
+
+enum class Mode { Report, Flame, Json };
+
+void render(const std::vector<dtnsim::obs::PerfReport>& log, Mode mode) {
+  using namespace dtnsim::obs;
+  switch (mode) {
+    case Mode::Json:
+      std::fputs((perf_log_to_json(log).dump(2) + "\n").c_str(), stdout);
+      break;
+    case Mode::Flame:
+      // Flamegraphs show a cumulative profile; the last sample holds the
+      // whole run's attribution (samples are run totals, not deltas).
+      std::fputs(format_flamegraph(log.back()).c_str(), stdout);
+      break;
+    case Mode::Report:
+      for (const auto& r : log) std::fputs(format_perf_report(r).c_str(), stdout);
+      break;
+  }
+}
+
+int replay(const std::string& path, Mode mode) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto doc = dtnsim::Json::parse(buf.str());
+  if (!doc) {
+    std::fprintf(stderr, "error: %s is not valid JSON\n", path.c_str());
+    return 2;
+  }
+  const auto log = dtnsim::obs::perf_log_from_json(*doc);
+  if (log.empty()) {
+    std::fprintf(stderr, "error: %s holds no samples\n", path.c_str());
+    return 2;
+  }
+  render(log, mode);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  std::string replay_path;
+  Mode mode = Mode::Report;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--record") {  // tool-local alias for the shared --perf-watch
+      args.push_back("--perf-watch");
+    } else if (a.rfind("--record=", 0) == 0) {
+      args.push_back("--perf-watch=" + a.substr(9));
+    } else if (a == "--replay") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: missing value for --replay\n");
+        return 2;
+      }
+      replay_path = argv[++i];
+    } else if (a.rfind("--replay=", 0) == 0) {
+      replay_path = a.substr(9);
+    } else if (a == "--report") {
+      mode = Mode::Report;
+    } else if (a == "--flame") {
+      mode = Mode::Flame;
+    } else if (a == "-J" || a == "--json") {
+      mode = Mode::Json;
+    } else {
+      args.push_back(a);
+    }
+  }
+  if (!replay_path.empty()) return replay(replay_path, mode);
+
+  auto opts = dtnsim::cli::parse_cli(args);
+  if (!opts.error.empty()) {
+    std::fprintf(stderr, "error: %s\n\n%s", opts.error.c_str(),
+                 dtnsim::cli::cli_help().c_str());
+    return 2;
+  }
+  if (opts.show_help) {
+    std::fputs(
+        "dtnsim-perf — exact per-stage CPU-cycle attribution of a dtnsim run\n"
+        "\n"
+        "tool flags:\n"
+        "      --record SEC     sample every SEC of simulated time\n"
+        "      --report         perf-report-style text output (default)\n"
+        "      --flame          collapsed stacks for flamegraph.pl\n"
+        "      --replay FILE    render a recorded log, no simulation\n"
+        "  -J, --json           emit the attribution log as JSON\n"
+        "      --perf-out FILE  also write the JSON log to FILE\n"
+        "\n"
+        "scenario flags (shared with dtnsim-iperf3):\n",
+        stdout);
+    std::fputs(dtnsim::cli::cli_help().c_str(), stdout);
+    return 0;
+  }
+  opts.force_perf = true;
+  opts.iperf.json = false;  // the run itself stays quiet; we print samples
+
+  dtnsim::harness::TestSpec spec;
+  try {
+    spec = dtnsim::cli::spec_from_cli(opts);
+  } catch (const std::exception& e) {  // unknown testbed or path name
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  const auto result = dtnsim::harness::run_test(spec);
+  const auto& log = result.perf_log;
+  if (log.empty()) {
+    std::fprintf(stderr, "error: run produced no samples\n");
+    return 1;
+  }
+  if (!opts.perf_out.empty() && !dtnsim::obs::write_perf_log(opts.perf_out, log)) {
+    std::fprintf(stderr, "error: cannot write perf log to %s\n",
+                 opts.perf_out.c_str());
+    return 1;
+  }
+  render(log, mode);
+  return 0;
+}

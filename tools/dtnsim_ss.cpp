@@ -13,6 +13,8 @@
 //   --watch SEC     sample every SEC of simulated time (alias: --ss-watch);
 //                   without it only the end-of-run snapshot is taken
 //   --replay FILE   pretty-print FILE (a --ss-out / --json dump) and exit
+//   --diff A B      compare two recorded logs (their final snapshots) side
+//                   by side with per-field deltas — sick vs tuned — and exit
 //   -J, --json      emit the snapshot log as JSON instead of text
 //   --ss-out FILE   additionally write the JSON log to FILE
 #include <cstdio>
@@ -26,24 +28,40 @@
 
 namespace {
 
-int replay(const std::string& path, bool json) {
+// Loads a --ss-out / --json dump; empty vector (with a message) on failure.
+std::vector<dtnsim::obs::SsReport> load_log(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
-    return 1;
+    return {};
   }
   std::ostringstream buf;
   buf << in.rdbuf();
   const auto doc = dtnsim::Json::parse(buf.str());
   if (!doc) {
     std::fprintf(stderr, "error: %s is not valid JSON\n", path.c_str());
-    return 2;
+    return {};
   }
-  const auto log = dtnsim::obs::ss_log_from_json(*doc);
+  auto log = dtnsim::obs::ss_log_from_json(*doc);
   if (log.empty()) {
     std::fprintf(stderr, "error: %s holds no snapshots\n", path.c_str());
-    return 2;
   }
+  return log;
+}
+
+int diff(const std::string& path_a, const std::string& path_b) {
+  const auto log_a = load_log(path_a);
+  const auto log_b = load_log(path_b);
+  if (log_a.empty() || log_b.empty()) return 2;
+  // The final snapshot of each log is the end-of-run state.
+  std::fputs(dtnsim::obs::format_ss_diff(log_a.back(), log_b.back()).c_str(),
+             stdout);
+  return 0;
+}
+
+int replay(const std::string& path, bool json) {
+  const auto log = load_log(path);
+  if (log.empty()) return 2;
   if (json) {
     std::fputs((dtnsim::obs::ss_log_to_json(log).dump(2) + "\n").c_str(), stdout);
   } else {
@@ -57,6 +75,7 @@ int replay(const std::string& path, bool json) {
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   std::string replay_path;
+  std::string diff_a, diff_b;
   bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -64,6 +83,13 @@ int main(int argc, char** argv) {
       args.push_back("--ss-watch");
     } else if (a.rfind("--watch=", 0) == 0) {
       args.push_back("--ss-watch=" + a.substr(8));
+    } else if (a == "--diff") {
+      if (i + 2 >= argc) {
+        std::fprintf(stderr, "error: --diff needs two recorded logs (A B)\n");
+        return 2;
+      }
+      diff_a = argv[++i];
+      diff_b = argv[++i];
     } else if (a == "--replay") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: missing value for --replay\n");
@@ -78,6 +104,7 @@ int main(int argc, char** argv) {
       args.push_back(a);
     }
   }
+  if (!diff_a.empty()) return diff(diff_a, diff_b);
   if (!replay_path.empty()) return replay(replay_path, json);
 
   auto opts = dtnsim::cli::parse_cli(args);
@@ -93,6 +120,7 @@ int main(int argc, char** argv) {
         "tool flags:\n"
         "      --watch SEC      snapshot every SEC of simulated time\n"
         "      --replay FILE    pretty-print a recorded log, no simulation\n"
+        "      --diff A B       compare two recorded logs side by side\n"
         "  -J, --json           emit the snapshot log as JSON\n"
         "      --ss-out FILE    also write the JSON log to FILE\n"
         "\n"
