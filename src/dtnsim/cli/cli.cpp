@@ -58,7 +58,7 @@ bool needs_value(const std::string& flag) {
          flag == "--seed" || flag == "--jobs" || flag == "--probe-interval" ||
          flag == "--metrics-out" || flag == "--trace-out" || flag == "--trace-stream" ||
          flag == "--ss-watch" || flag == "--ss-out" || flag == "--perf-watch" ||
-         flag == "--perf-out";
+         flag == "--perf-out" || flag == "--scenario" || flag == "--scenario-out";
 }
 
 }  // namespace
@@ -210,6 +210,10 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       }
     } else if (flag == "--perf-out") {
       o.perf_out = value;
+    } else if (flag == "--scenario") {
+      o.scenario_file = value;
+    } else if (flag == "--scenario-out") {
+      o.scenario_out = value;
     } else {
       o.error = "unknown flag: " + flag;
       return o;
@@ -252,7 +256,11 @@ std::string cli_help() {
       "                         --replay reads it back)\n"
       "      --perf-watch SEC   per-stage cycle attribution samples every SEC\n"
       "      --perf-out F       write the perf log as JSON (dtnsim-perf\n"
-      "                         --replay reads it back)\n";
+      "                         --replay reads it back)\n"
+      "scenario flags (docs/SCENARIO.md):\n"
+      "      --scenario F       mid-run fault/condition timeline (JSON); events\n"
+      "                         fire at their scheduled times in every repeat\n"
+      "      --scenario-out F   write repeat 0's applied-event log as JSON\n";
 }
 
 harness::TestSpec spec_from_cli(const CliOptions& opts) {
@@ -292,6 +300,10 @@ harness::TestSpec spec_from_cli(const CliOptions& opts) {
     if (opts.perf_watch_sec > 0) {
       spec.telemetry.perf_interval = units::seconds(opts.perf_watch_sec);
     }
+  }
+  if (!opts.scenario_file.empty()) {
+    // Throws std::runtime_error on a missing file or invalid timeline.
+    spec.scenario = scenario::load_timeline(opts.scenario_file);
   }
   return spec;
 }
@@ -354,6 +366,16 @@ int run_cli(const CliOptions& opts, std::string& output) {
     telemetry_note += strfmt("  perf log   : %s (%zu sample%s)\n",
                              opts.perf_out.c_str(), result.perf_log.size(),
                              result.perf_log.size() == 1 ? "" : "s");
+  }
+  if (!opts.scenario_out.empty()) {
+    if (!scenario::write_event_log(opts.scenario_out, result.scenario_log)) {
+      output =
+          strfmt("error: cannot write scenario log to %s\n", opts.scenario_out.c_str());
+      return 1;
+    }
+    telemetry_note += strfmt("  scenario   : %s (%zu event%s)\n",
+                             opts.scenario_out.c_str(), result.scenario_log.events.size(),
+                             result.scenario_log.events.size() == 1 ? "" : "s");
   }
 
   if (opts.iperf.json) {

@@ -29,6 +29,9 @@
 //   --ss-out PATH           snapshot log -> JSON (dtnsim-ss --replay input)
 //   --perf-watch SEC        per-stage cycle attribution samples every SEC
 //   --perf-out PATH         perf log -> JSON (dtnsim-perf --replay input)
+// Scenario (see docs/SCENARIO.md):
+//   --scenario PATH         mid-run fault/condition timeline (JSON)
+//   --scenario-out PATH     event log of repeat 0 -> JSON
 // Long flags also accept --flag=value.
 #pragma once
 
@@ -83,6 +86,10 @@ struct CliOptions {
   double perf_watch_sec = 0.0;
   std::string perf_out;
   bool force_perf = false;
+  // Mid-run fault/condition timeline (docs/SCENARIO.md): a JSON timeline to
+  // load and the destination for repeat 0's event log.
+  std::string scenario_file;
+  std::string scenario_out;
 };
 
 CliOptions parse_cli(const std::vector<std::string>& args);

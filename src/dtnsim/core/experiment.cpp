@@ -143,11 +143,17 @@ Experiment& Experiment::perf_watch(units::SimTime interval) {
   return *this;
 }
 
+Experiment& Experiment::scenario(dtnsim::scenario::Timeline timeline) {
+  scenario_ = std::move(timeline);
+  return *this;
+}
+
 harness::TestSpec Experiment::spec() const {
   harness::TestSpec s = harness::TestSpec::on(testbed_, path_name_, iperf_, label_);
   s.repeats = repeats_;
   s.base_seed = seed_;
   s.telemetry = telemetry_;
+  s.scenario = scenario_;
   return s;
 }
 

@@ -48,6 +48,10 @@ class Experiment {
   // Periodic attribution samples every `interval` of simulated time plus
   // the final one — `dtnsim-perf --record`. Implies perf(true).
   Experiment& perf_watch(units::SimTime interval);
+  // Mid-run fault/condition timeline (`--scenario FILE`): link impairments,
+  // NIC/qdisc/sysctl retunes and flow churn fire at scenario::Timeline
+  // times while the transfer runs (see docs/SCENARIO.md).
+  Experiment& scenario(scenario::Timeline timeline);
 
   // The spec this builder will run (inspectable before running).
   harness::TestSpec spec() const;
@@ -61,6 +65,7 @@ class Experiment {
   std::uint64_t seed_ = 0x5eed;
   std::string label_;
   obs::TelemetryConfig telemetry_;
+  dtnsim::scenario::Timeline scenario_;
 };
 
 }  // namespace dtnsim

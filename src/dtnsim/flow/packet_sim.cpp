@@ -66,6 +66,20 @@ struct SimState {
   RunningStats gaps;
   double aggregate_bytes_total = 0.0;
 
+  // Scenario hook (null when cfg.scenario is empty — the hot paths then pay
+  // one null check, nothing else). Base values snapshot the configured
+  // geometry so expired events fall back to it cleanly.
+  std::unique_ptr<scenario::Runtime> scn;
+  Nanos scn_base_half_rtt = 0;
+  int scn_base_ring = 0;
+  Nanos scn_base_rx_segment_ns = 0;
+  double scn_base_pacing = 0.0;
+  bool scn_base_fq = false;
+  bool scn_pacing_overridden = false;
+  double scn_loss_accum = 0.0;  // fractional-loss carry (deterministic drop)
+  double scn_rcv_ooo = 0.0;     // out-of-order segments seen by the receiver
+  obs::Counter* scn_events = nullptr;
+
   // Exact per-stage cycle attribution (dtnsim-perf), allocated only when the
   // attached Telemetry wants perf — same zero-cost-when-disabled guarantee
   // as the fluid engine's Instruments::PerfAccum. The packet engine runs one
@@ -92,6 +106,7 @@ struct SimState {
 };
 
 void try_send(SimState& s);
+void scenario_tick(SimState& s);
 
 // Register the pkt.* metric family on the shared registry. Names are
 // disjoint from the fluid engine's tcp./zc./net./flow./cpu. families, so a
@@ -116,7 +131,8 @@ void setup_instruments(SimState& s) {
   s.pkt.ring_drops =
       reg.counter("pkt.ring_drops", "segments", "segments lost to ring overrun");
   s.pkt.dropped_bytes =
-      reg.counter("pkt.dropped_bytes", "bytes", "payload lost to ring overrun");
+      reg.counter("pkt.dropped_bytes", "bytes",
+                  "payload lost before delivery (ring overrun, scenario loss)");
   s.pkt.napi_polls = reg.counter("pkt.napi_polls", "polls", "NAPI poll invocations");
   s.pkt.napi_batch =
       reg.histogram("pkt.napi_batch_segments", "segments",
@@ -192,6 +208,33 @@ void napi_poll(SimState& s) {
 }
 
 void on_arrival(SimState& s, int segments) {
+  if (s.scn) {
+    const auto& e = s.scn->effects();
+    int lose = 0;
+    if (e.link_down) {
+      lose = segments;
+    } else if (e.loss_frac > 0.0) {
+      // Deterministic fractional drop: carry the remainder instead of
+      // drawing randomness, so jobs=1 and jobs=N replay bit-identically.
+      s.scn_loss_accum += static_cast<double>(segments) * e.loss_frac;
+      lose = std::min(static_cast<int>(s.scn_loss_accum), segments);
+      s.scn_loss_accum -= static_cast<double>(lose);
+    }
+    if (lose > 0) {
+      segments -= lose;
+      s.res.segments_lost_path += static_cast<std::uint64_t>(lose);
+      s.scn_rcv_ooo += static_cast<double>(lose);  // holes arrive out of order
+      // Lost segments hold the window until the modelled retransmit lands a
+      // recovery round later; the retransmitted copy is not goodput.
+      const double bytes = static_cast<double>(lose) * s.seg_payload;
+      s.engine.schedule(s.half_rtt * 3, [&s, bytes] { on_ack(s, bytes); });
+      if (s.tel) s.pkt.dropped_bytes->add(bytes);
+    }
+    if (e.reorder_frac > 0.0) {
+      s.scn_rcv_ooo += static_cast<double>(segments) * e.reorder_frac;
+    }
+    if (segments <= 0) return;
+  }
   int dropped = 0;
   for (int i = 0; i < segments; ++i) {
     if (s.ring_used >= s.ring_capacity) {
@@ -283,6 +326,55 @@ void try_send(SimState& s) {
   }
 }
 
+// Apply the scenario state for "now" and arm the next boundary. The packet
+// engine has no per-tick loop to piggyback on, so the Runtime is driven by
+// its own boundary events: each firing folds the active effects onto the
+// knobs the engine re-reads on every event (ring capacity, path RTT, NAPI
+// drain speed, fq pacing) and re-schedules itself at the next boundary.
+void scenario_tick(SimState& s) {
+  const auto& lg = s.scn->log();
+  const std::size_t logged_before = lg.size();
+  if (s.scn->advance(units::to_seconds(s.engine.now()))) {
+    const auto& e = s.scn->effects();
+    s.half_rtt =
+        s.scn_base_half_rtt + static_cast<Nanos>(e.extra_rtt_sec * 0.5e9);
+    s.ring_capacity =
+        e.ring_descriptors >= 0
+            ? std::clamp(static_cast<int>(std::lround(e.ring_descriptors)), 64,
+                         s.cfg->receiver.nic.max_ring_descriptors)
+            : s.scn_base_ring;
+    // IRQ drain degradation scales the per-segment service time up (the
+    // fluid engine scales its IRQ budget down by the same factor).
+    s.rx_segment_ns = static_cast<Nanos>(
+        static_cast<double>(s.scn_base_rx_segment_ns) / e.irq_drain_mult);
+    if (e.pacing_bps >= 0.0) {
+      s.qdisc->set_flow_rate(1, e.pacing_bps);
+      s.scn_pacing_overridden = true;
+    } else if (s.scn_pacing_overridden) {
+      s.qdisc->set_flow_rate(1, s.scn_base_fq ? s.scn_base_pacing : 0.0);
+      s.scn_pacing_overridden = false;
+    }
+  }
+  for (std::size_t i = logged_before; i < lg.size(); ++i) {
+    const auto& ae = lg[i];
+    if (s.scn_events && ae.applied) s.scn_events->increment();
+    if (s.tel) {
+      s.tel->trace().instant(
+          "scenario_" + std::string(scenario::kind_name(ae.kind)), "scenario",
+          s.engine.now(), 0,
+          {{"value", ae.value},
+           {"fire_sec", ae.fire_sec},
+           {"applied", ae.applied ? 1.0 : 0.0}});
+    }
+  }
+  const double nb = s.scn->next_boundary_sec();
+  if (std::isfinite(nb)) {
+    const Nanos at = std::max<Nanos>(static_cast<Nanos>(nb * 1e9) + 1,
+                                     s.engine.now() + 1);
+    s.engine.schedule_at(at, [&s] { scenario_tick(s); });
+  }
+}
+
 }  // namespace
 
 PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
@@ -330,10 +422,34 @@ PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
   kern::GroEngine gro(rcv_caps, units::Bytes(mtu));
   s.gro = &gro;
 
+  if (!cfg.scenario.empty()) {
+    s.scn = std::make_unique<scenario::Runtime>(
+        cfg.scenario, cfg.seed, "packet",
+        std::vector<scenario::EventKind>{
+            scenario::EventKind::LossBurst, scenario::EventKind::ReorderBurst,
+            scenario::EventKind::LinkDown, scenario::EventKind::LinkUp,
+            scenario::EventKind::LinkAddRtt,
+            scenario::EventKind::NicRingResize,
+            scenario::EventKind::QdiscPacingRate,
+            scenario::EventKind::IrqDrainDegrade});
+    s.scn_base_half_rtt = s.half_rtt;
+    s.scn_base_ring = s.ring_capacity;
+    s.scn_base_rx_segment_ns = s.rx_segment_ns;
+    s.scn_base_fq =
+        cfg.sender.tuning.sysctl.default_qdisc == kern::QdiscKind::Fq;
+    s.scn_base_pacing = s.scn_base_fq ? cfg.pacing_bps : 0.0;
+  }
+
   const Nanos horizon = cfg.duration.nanos() + cfg.path.rtt * 2;
   if (cfg.telemetry && cfg.telemetry->config().enabled) {
     s.tel = cfg.telemetry;
     setup_instruments(s);
+    if (s.scn) {
+      // Same name/unit/help as the fluid engine's registration so a shared
+      // Telemetry (divergence runs) folds both engines into one counter.
+      s.scn_events = s.tel->registry().counter(
+          "scenario.events_applied", "events", "scenario events applied so far");
+    }
     s.tel->trace().begin("packet_run", "pkt", 0, 0,
                          {{"duration_ms", cfg.duration.seconds() * 1e3},
                           {"pacing_bps", cfg.pacing_bps},
@@ -362,6 +478,14 @@ PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
         const double rtt_sec = units::to_seconds(s.cfg->path.rtt);
         t.rtt_sec = rtt_sec;
         t.min_rtt_sec = rtt_sec;
+        // Receiver-side estimates: rcv_rtt adds the ring sojourn of the
+        // current backlog; ooopack counts the holes ring drops and scenario
+        // loss/reorder punched into the arrival order.
+        t.rcv_rtt_sec =
+            rtt_sec + units::to_seconds(static_cast<Nanos>(s.ring_used) *
+                                        s.rx_segment_ns);
+        t.rcv_ooopack =
+            static_cast<double>(s.res.segments_dropped) + s.scn_rcv_ooo;
         t.pacing_rate_bps = s.cfg->pacing_bps;
         const double sent =
             static_cast<double>(s.res.superpackets_sent) * s.gso_bytes;
@@ -456,8 +580,19 @@ PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
     });
   }
 
+  // Scenario effects at t=0 must be in place before the first send; the
+  // tick then re-arms itself at every later boundary.
+  if (s.scn) scenario_tick(s);
+
   s.engine.schedule(0, [&s] { try_send(s); });
   s.engine.run_until(horizon);
+
+  if (s.scn) {
+    // Cross any boundaries past the last engine event so the log is
+    // complete, then export it.
+    s.scn->advance(cfg.duration.seconds());
+    s.res.scenario_log = s.scn->event_log();
+  }
 
   if (s.tel) {
     s.pkt.goodput->set(

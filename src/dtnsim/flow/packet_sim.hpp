@@ -20,6 +20,7 @@
 #include "dtnsim/host/host.hpp"
 #include "dtnsim/net/path.hpp"
 #include "dtnsim/obs/telemetry.hpp"
+#include "dtnsim/scenario/scenario.hpp"
 #include "dtnsim/util/stats.hpp"
 
 namespace dtnsim::flow {
@@ -36,6 +37,14 @@ struct PacketSimConfig {
   // Receiver per-segment processing time floor; derived from the cost model
   // unless overridden (> 0).
   double rx_segment_ns_override = 0.0;
+  // Mid-run fault/condition timeline (scenario::Timeline). Empty = no hook
+  // installed (bit-identical to a scenario-less build). The packet engine
+  // supports the subset of event kinds with an SKB-level counterpart: loss /
+  // reorder bursts, link flap, added RTT, ring resize, pacing retune and IRQ
+  // drain degradation; everything else is logged applied=false.
+  scenario::Timeline scenario;
+  // Seed for scenario jitter only — the engine itself stays deterministic.
+  std::uint64_t seed = 1;
   // Optional, non-owning observability sink. When set (and enabled), the run
   // registers the pkt.* metric family, emits spans/instants into the trace,
   // and arms the interval probe on its engine — the same Telemetry a fluid
@@ -50,6 +59,7 @@ struct PacketSimResult {
   std::uint64_t superpackets_sent = 0;
   std::uint64_t segments_sent = 0;
   std::uint64_t segments_dropped = 0;   // RX ring overruns
+  std::uint64_t segments_lost_path = 0; // scenario loss bursts / link-down
   std::uint64_t aggregates = 0;
   double delivered_bytes = 0.0;
   double achieved_bps = 0.0;
@@ -58,6 +68,8 @@ struct PacketSimResult {
   double interdeparture_mean_ns = 0.0;
   double interdeparture_stddev_ns = 0.0;
   int ring_peak = 0;                    // max descriptors in use
+  // What the scenario runtime fired (empty when no timeline was configured).
+  scenario::EventLog scenario_log;
 };
 
 PacketSimResult run_packet_sim(const PacketSimConfig& cfg);

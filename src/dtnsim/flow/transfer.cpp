@@ -155,6 +155,17 @@ void TransferSimulation::setup_telemetry(sim::Engine& engine) {
   in.flow_bps_range = reg.gauge("flow.per_flow_range_bps", "bps",
                                 "max-min per-flow delivery spread (Table III range)");
 
+  // scenario.* family only exists when a scenario is attached: registering
+  // it unconditionally would grow the probe's CSV columns and break the
+  // golden headers of scenario-free runs.
+  if (scn_) {
+    in.scn_events = reg.counter("scenario.events_applied", "events",
+                                "scenario events applied so far");
+    in.scn_active_flows = reg.gauge("scenario.active_flows", "flows",
+                                    "streams currently active (flow churn)");
+    in.scn_active_flows->set(static_cast<double>(flows_.size()));
+  }
+
   in.optmem_max->set(cfg_.sender.tuning.sysctl.optmem_max);
   in.flow0_slow_start = flows_[0].cc->in_slow_start();
 
@@ -166,6 +177,7 @@ void TransferSimulation::setup_telemetry(sim::Engine& engine) {
     in.ss->delivery_bps.assign(n, 0.0);
     in.ss->notsent_bytes.assign(n, 0.0);
     in.ss->optmem_inflight.assign(n, 0.0);
+    in.ss->rcv_ooo.assign(n, 0.0);
     tel_->ss().set_source([this](Nanos now) { return build_ss_report(now); });
     // Armed before the probe: at coincident timestamps the ss sample lands
     // first, so the probe's cross-check compares against this instant's
@@ -193,6 +205,30 @@ void TransferSimulation::setup_telemetry(sim::Engine& engine) {
 TransferResult TransferSimulation::run() {
   sim::Engine engine;
   engine_ = &engine;
+  if (!cfg_.scenario.empty()) {
+    // The fluid engine supports every event kind. The Runtime draws its
+    // jitter from a jump-separated substream of the run seed, never from
+    // rng_, so attaching a scenario does not shift any engine draw.
+    scn_ = std::make_unique<scenario::Runtime>(
+        cfg_.scenario, cfg_.seed, "fluid",
+        std::vector<scenario::EventKind>{
+            scenario::EventKind::LinkCapacity, scenario::EventKind::LinkAddRtt,
+            scenario::EventKind::LossBurst, scenario::EventKind::ReorderBurst,
+            scenario::EventKind::LinkDown, scenario::EventKind::LinkUp,
+            scenario::EventKind::BgSurge, scenario::EventKind::NicRingResize,
+            scenario::EventKind::NicPauseToggle,
+            scenario::EventKind::IrqDrainDegrade, scenario::EventKind::QdiscSwap,
+            scenario::EventKind::QdiscPacingRate,
+            scenario::EventKind::SysctlOptmem, scenario::EventKind::FlowArrive,
+            scenario::EventKind::FlowDepart});
+    scn_base_path_ = cfg_.path;
+    scn_base_ring_ = cfg_.receiver.tuning.ring_descriptors;
+    scn_base_lfc_ = cfg_.link_flow_control;
+    scn_base_qdisc_ = cfg_.sender.tuning.sysctl.default_qdisc;
+    scn_base_fq_rate_ = cfg_.flow.fq_rate_bps;
+    scn_base_optmem_ = cfg_.sender.tuning.sysctl.optmem_max;
+    scn_active_flows_ = static_cast<int>(flows_.size());
+  }
   const double rtt = std::max(path_.spec().rtt_sec(), 1e-6);
   const double dt = std::max(rtt, kMinTickSec);
   const Nanos tick_ns = std::max<Nanos>(static_cast<Nanos>(dt * 1e9), 1);
@@ -268,10 +304,80 @@ TransferResult TransferSimulation::run() {
   res.dropped_bytes_nic = dropped_nic_;
   res.dropped_bytes_path = dropped_path_;
   res.pause_frames_seen = pause_seen_;
+  if (scn_) {
+    // Sweep the horizon itself so events landing on the final boundary are
+    // logged even though no tick runs after them.
+    scn_->advance(cfg_.duration.seconds());
+    res.scenario_log = scn_->event_log();
+  }
   return res;
 }
 
+void TransferSimulation::apply_scenario(double now_sec) {
+  const std::size_t logged_before = scn_->log().size();
+  if (!scn_->advance(now_sec)) return;
+  const scenario::Effects& e = scn_->effects();
+
+  // Path overlay: fold onto the t=0 spec; the tick re-reads path_.spec()
+  // every round, so the swap takes effect immediately.
+  net::PathSpec ps = scn_base_path_;
+  if (e.capacity_bps >= 0.0) ps.capacity_bps = e.capacity_bps;
+  if (e.link_down) ps.capacity_bps = 1.0;  // outage: the pipe is gone
+  ps.rtt = scn_base_path_.rtt + units::seconds(e.extra_rtt_sec);
+  ps.bg_traffic_bps = scn_base_path_.bg_traffic_bps + e.extra_bg_bps;
+  path_.set_spec(ps);
+
+  // NIC / qdisc / sysctl overlays land in cfg_, which the tick also
+  // re-reads every round (NicRx is rebuilt per tick).
+  cfg_.receiver.tuning.ring_descriptors =
+      e.ring_descriptors >= 0.0
+          ? static_cast<int>(std::lround(e.ring_descriptors))
+          : scn_base_ring_;
+  cfg_.link_flow_control =
+      e.pause_frames < 0 ? scn_base_lfc_ : e.pause_frames == 1;
+  cfg_.sender.tuning.sysctl.default_qdisc =
+      e.qdisc < 0 ? scn_base_qdisc_
+                  : (e.qdisc == 1 ? kern::QdiscKind::Fq : kern::QdiscKind::FqCodel);
+  cfg_.flow.fq_rate_bps = e.pacing_bps < 0.0 ? scn_base_fq_rate_ : e.pacing_bps;
+
+  const double optmem =
+      e.optmem_max_bytes < 0.0 ? scn_base_optmem_ : e.optmem_max_bytes;
+  if (optmem != cfg_.sender.tuning.sysctl.optmem_max) {
+    cfg_.sender.tuning.sysctl.optmem_max = optmem;
+    for (auto& f : flows_) f.zc_socket.set_optmem_max(units::Bytes(optmem));
+    if (instr_) instr_->optmem_max->set(optmem);
+  }
+
+  scn_loss_frac_ = e.loss_frac;
+  scn_reorder_frac_ = e.reorder_frac;
+  scn_irq_mult_ = e.irq_drain_mult;
+  scn_active_flows_ = std::clamp(static_cast<int>(flows_.size()) + e.flow_delta,
+                                 1, static_cast<int>(flows_.size()));
+
+  const auto& log = scn_->log();
+  const Nanos now_ns = engine_ ? engine_->now() : units::seconds(now_sec);
+  for (std::size_t i = logged_before; i < log.size(); ++i) {
+    const scenario::AppliedEvent& ev = log[i];
+    log::info("scenario: %s value=%g fired at t=%.3fs%s",
+              std::string(scenario::kind_name(ev.kind)).c_str(), ev.value,
+              ev.fire_sec, ev.applied ? "" : " (unsupported, skipped)");
+    if (instr_) {
+      if (ev.applied) instr_->scn_events->increment();
+      tel_->trace().instant(
+          "scenario_" + std::string(scenario::kind_name(ev.kind)), "scenario",
+          now_ns, 0,
+          {{"value", ev.value},
+           {"fire_sec", ev.fire_sec},
+           {"applied", ev.applied ? 1.0 : 0.0}});
+    }
+  }
+  if (instr_) {
+    instr_->scn_active_flows->set(static_cast<double>(scn_active_flows_));
+  }
+}
+
 void TransferSimulation::tick(double dt_sec, double now_sec) {
+  if (scn_) apply_scenario(now_sec);
   const double rtt = std::max(path_.spec().rtt_sec(), 1e-6);
   Instruments* const in = instr_.get();
   const Nanos now_ns = engine_ ? engine_->now() : units::seconds(now_sec);
@@ -296,8 +402,10 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
   const double rcv_app_budget = receiver_.app_core_hz() * dt_sec * eff;
   const double snd_irq_budget = sender_.app_core_hz() *
                                 static_cast<double>(sender_.irq_core_count()) * dt_sec * eff;
-  const double rcv_irq_budget = receiver_.app_core_hz() *
-                                static_cast<double>(receiver_.irq_core_count()) * dt_sec * eff;
+  double rcv_irq_budget = receiver_.app_core_hz() *
+                          static_cast<double>(receiver_.irq_core_count()) * dt_sec * eff;
+  // Scenario IRQ-core degradation (noisy neighbor stealing drain cycles).
+  if (scn_) rcv_irq_budget *= scn_irq_mult_;
   const double snd_mem_budget = sender_.stack_mem_bw_bytes() * dt_sec * eff;
   const double rcv_mem_budget = receiver_.stack_mem_bw_bytes() * dt_sec * eff;
   const double line_bytes = sender_.config().nic.line_rate_bps * dt_sec / 8.0;
@@ -310,6 +418,19 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
   double f0_wnd_desired = 0.0, f0_paced_desired = 0.0, f0_cpu_cap = 0.0;
   for (auto& f : flows_) {
     update_jitter(f);
+
+    // Departed stream (scenario flow churn): the jitter stream above stays
+    // warm so churn never shifts the other flows' draws, but the flow
+    // plans nothing and its backlog simply drains out below.
+    if (scn_ &&
+        static_cast<int>(&f - flows_.data()) >= scn_active_flows_) {
+      f.planned_bytes = 0.0;
+      f.tx_app_cyc_per_byte = 0.0;
+      if (in && in->perf) {
+        in->perf->tx_pb[static_cast<std::size_t>(&f - flows_.data())] = {};
+      }
+      continue;
+    }
 
     const double rwnd = std::max(rcv_wnd_max - f.rcv_backlog_bytes, 0.0);
     const double wnd = std::min({f.cc->cwnd_bytes(), rwnd, snd_wnd_max});
@@ -576,6 +697,21 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
     }
   }
 
+  // ---- Scenario forced loss ----------------------------------------------
+  if (scn_ && scn_loss_frac_ > 0.0) {
+    // Loss episode: a deterministic cut of what the path delivered, counted
+    // as path drops so CC backoff and retransmit accounting both see it.
+    double forced = 0.0;
+    for (auto& f : flows_) {
+      const double cut = f.arrived_bytes * scn_loss_frac_;
+      f.arrived_bytes -= cut;
+      f.lost_bytes += cut;
+      forced += cut;
+    }
+    dropped_path_ += forced;
+    if (in) in->path_drops->add(forced);
+  }
+
   // ---- Receiver NIC per flow ---------------------------------------------
   net::NicSpec rx_nic = cfg_.receiver.nic;
   if (receiver_.hw_gro_active()) {
@@ -728,6 +864,15 @@ void TransferSimulation::tick(double dt_sec, double now_sec) {
     auto& f = flows_[fi];
     const double acked = f.arrived_bytes;
     const double lost = f.lost_bytes;
+    if (in && in->ss) {
+      // Receiver-side reordering (tcpi_rcv_ooopack): every retransmitted
+      // hole and every scenario-reordered segment arrives out of order.
+      double ooo = lost > 0.5 * mss() ? lost / mss() : 0.0;
+      if (scn_ && scn_reorder_frac_ > 0.0) {
+        ooo += f.arrived_bytes * scn_reorder_frac_ / mss();
+      }
+      in->ss->rcv_ooo[fi] += ooo;
+    }
     if (lost > 0.5 * mss()) {
       f.retransmit_segments += lost / mss();
       total_retx_ += lost / mss();
@@ -904,6 +1049,9 @@ obs::SsReport TransferSimulation::build_ss_report(Nanos now) const {
     s.segs_retrans = f.retransmit_segments;
     s.bytes_retrans = f.retransmit_segments * seg;
     s.rcv_space_bytes = std::max(rcv_wnd_max - f.rcv_backlog_bytes, 0.0);
+    // tcpi_rcv_rtt: the receiver's own RTT estimate — the path RTT plus the
+    // sojourn its socket backlog adds before the application drains it.
+    s.rcv_rtt_sec = s.rtt_sec;
     if (ssa) {
       s.bytes_sent = ssa->bytes_sent[fi];
       s.send_rate_bps = ssa->send_bps[fi];
@@ -911,6 +1059,10 @@ obs::SsReport TransferSimulation::build_ss_report(Nanos now) const {
       s.notsent_bytes = ssa->notsent_bytes[fi];
       s.delivery_rate_app_limited = ssa->app_limited;
       s.optmem_used_bytes = ssa->optmem_inflight[fi];
+      s.rcv_ooopack = ssa->rcv_ooo[fi];
+      if (ssa->delivery_bps[fi] > 0.0) {
+        s.rcv_rtt_sec += f.rcv_backlog_bytes * 8.0 / ssa->delivery_bps[fi];
+      }
     }
     s.optmem_max_bytes = f.zc_socket.optmem_max();
     s.optmem_hiwater_bytes = f.zc_socket.peak_optmem_used();

@@ -19,6 +19,7 @@
 #include "dtnsim/kern/zc_socket.hpp"
 #include "dtnsim/net/path.hpp"
 #include "dtnsim/obs/telemetry.hpp"
+#include "dtnsim/scenario/scenario.hpp"
 #include "dtnsim/tcp/cc.hpp"
 #include "dtnsim/tcp/rtt.hpp"
 #include "dtnsim/util/rng.hpp"
@@ -50,6 +51,10 @@ struct TransferConfig {
   // its metrics there, arms the interval probe on the engine, and records
   // trace events; when null the cost is one branch per tick.
   obs::Telemetry* telemetry = nullptr;
+  // Optional mid-run event timeline. When empty the hook costs one branch
+  // per tick and the run is bit-identical to a build without the scenario
+  // subsystem (the wants_ss()/wants_perf() zero-cost pattern).
+  scenario::Timeline scenario;
 };
 
 struct CpuUtilization {
@@ -74,6 +79,8 @@ struct TransferResult {
   double dropped_bytes_nic = 0.0;
   double dropped_bytes_path = 0.0;
   bool pause_frames_seen = false;
+  // Events crossed during the run (empty when no scenario was attached).
+  scenario::EventLog scenario_log;
 };
 
 class TransferSimulation {
@@ -154,6 +161,10 @@ class TransferSimulation {
     obs::Gauge* rcv_irq = nullptr;
     obs::Gauge* limit_code = nullptr;
     obs::Counter* limit_ticks[8] = {};  // indexed by RoundLimit
+    // scenario.* family — registered only when a scenario is attached so
+    // scenario-free telemetry runs keep their probe columns unchanged.
+    obs::Counter* scn_events = nullptr;
+    obs::Gauge* scn_active_flows = nullptr;
     // Trace edge detection
     obs::RoundLimit last_limit = obs::RoundLimit::None;
     bool in_fallback = false;
@@ -182,6 +193,9 @@ class TransferSimulation {
       double qdisc_sent_bytes = 0.0;
       double qdisc_throttled = 0.0;
       double qdisc_pacing_delay_sec = 0.0;
+      // tcpi_rcv_ooopack analogue: out-of-order segments the receiver saw
+      // (retransmitted holes plus scenario-forced reordering), per flow.
+      std::vector<double> rcv_ooo;
     };
     std::unique_ptr<SsAccum> ss;
     // Exact per-stage cycle attribution (dtnsim-perf). Allocated only when
@@ -203,6 +217,11 @@ class TransferSimulation {
   };
 
   void tick(double dt_sec, double now_sec);
+  // Crosses scenario boundaries up to now_sec and re-applies the folded
+  // overlay onto cfg_/path_ (the tick re-reads both every round, so a
+  // mutation lands on the next tick). Called only when a scenario is
+  // attached (scn_ non-null).
+  void apply_scenario(double now_sec);
   void update_jitter(FlowState& f);
   double mss() const;
   void setup_telemetry(sim::Engine& engine);
@@ -243,6 +262,21 @@ class TransferSimulation {
   obs::Telemetry* tel_ = nullptr;           // == cfg_.telemetry during run()
   std::unique_ptr<Instruments> instr_;
   sim::Engine* engine_ = nullptr;           // valid during run()
+
+  // Scenario state, allocated only when cfg_.scenario is non-empty. The
+  // base_* copies are the t=0 configuration the Effects overlay folds onto;
+  // the scn_* caches mirror the overlay fields the tick loop reads inline.
+  std::unique_ptr<scenario::Runtime> scn_;
+  net::PathSpec scn_base_path_;
+  int scn_base_ring_ = 0;
+  bool scn_base_lfc_ = false;
+  kern::QdiscKind scn_base_qdisc_ = kern::QdiscKind::FqCodel;
+  double scn_base_fq_rate_ = 0.0;
+  double scn_base_optmem_ = 0.0;
+  double scn_loss_frac_ = 0.0;
+  double scn_reorder_frac_ = 0.0;
+  double scn_irq_mult_ = 1.0;
+  int scn_active_flows_ = 0;
 };
 
 // Convenience one-shot runner.

@@ -38,6 +38,7 @@ TestResult run_test(const TestSpec& spec) {
   cfg.flow.congestion = spec.iperf.congestion;
   cfg.link_flow_control = spec.link_flow_control;
   cfg.duration = units::SimTime::from_seconds(spec.iperf.duration_sec);
+  cfg.scenario = spec.scenario;
 
   for (int r = 0; r < out.repeats; ++r) {
     cfg.seed = seeder.substream(static_cast<unsigned>(r)).next();
@@ -51,6 +52,10 @@ TestResult run_test(const TestSpec& spec) {
       cfg.telemetry = tel.get();
     }
     const flow::TransferResult res = flow::run_transfer(cfg);
+    if (r == 0 && !spec.scenario.empty()) {
+      out.scenario_log = res.scenario_log;
+      out.scenario_log.label = spec.name;
+    }
     if (tel) {
       tel->trace().finalize();  // close a streamed document; no-op on the ring
       out.repeat_series.push_back(tel->series());

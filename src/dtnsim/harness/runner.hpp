@@ -14,6 +14,7 @@
 #include "dtnsim/app/iperf.hpp"
 #include "dtnsim/harness/testbeds.hpp"
 #include "dtnsim/obs/telemetry.hpp"
+#include "dtnsim/scenario/scenario.hpp"
 
 namespace dtnsim::harness {
 
@@ -30,6 +31,9 @@ struct TestSpec {
   // and trace sink; the per-repeat series and repeat 0's trace land on the
   // TestResult (the iperf3 `-i 1` + ss/ethtool side channel, always wired).
   obs::TelemetryConfig telemetry;
+  // Mid-run fault/condition timeline, applied to every repeat (each repeat
+  // jitters event times from its own seed substream). Empty = no scenario.
+  dtnsim::scenario::Timeline scenario;
 
   // Convenience: build a spec from a testbed + path name.
   static TestSpec on(const Testbed& tb, const std::string& path_name,
@@ -67,6 +71,9 @@ struct TestResult {
   // Populated only when spec.telemetry.perf_enabled: repeat 0's dtnsim-perf
   // attribution log (every sampler firing plus the end-of-run report).
   std::vector<obs::PerfReport> perf_log;
+  // Populated only when spec.scenario is non-empty: repeat 0's event log
+  // (what fired, when, and whether the engine applied it).
+  dtnsim::scenario::EventLog scenario_log;
 };
 
 TestResult run_test(const TestSpec& spec);

@@ -47,6 +47,12 @@ class ZcTxSocket {
   void reset();
 
   double optmem_max() const { return optmem_max_; }
+  // `sysctl -w net.core.optmem_max` mid-transfer (scenario SysctlOptmem):
+  // the kernel applies the new limit to future charges only — in-flight
+  // charges and the high-water mark are left untouched.
+  void set_optmem_max(units::Bytes optmem_max) {
+    optmem_max_ = optmem_max.value();
+  }
   double optmem_used() const { return optmem_used_; }
   double optmem_available() const {
     return optmem_max_ > optmem_used_ ? optmem_max_ - optmem_used_ : 0.0;

@@ -40,6 +40,10 @@ class Path {
   explicit Path(const PathSpec& spec) : spec_(spec) {}
 
   const PathSpec& spec() const { return spec_; }
+  // Mid-run respec (scenario events: capacity caps, added RTT, surges).
+  // Path is stateless apart from the spec, so a swap takes effect on the
+  // next transit() with no other bookkeeping.
+  void set_spec(const PathSpec& spec) { spec_ = spec; }
 
   // Capacity left for test traffic this tick after background microbursts.
   double available_capacity_bps(Rng& rng) const;

@@ -159,6 +159,24 @@ std::string format_flamegraph(const PerfReport& r) {
   return out;
 }
 
+std::string format_flamegraph_diff(const PerfReport& before,
+                                   const PerfReport& after) {
+  // Stacks only diff when their frames match, so two different engines
+  // fall back to the shared "dtnsim" root.
+  const std::string root = (!before.engine.empty() && before.engine == after.engine)
+                               ? before.engine
+                               : std::string("dtnsim");
+  std::string out;
+  for (int i = 0; i < kPerfStageCount; ++i) {
+    if (before.stage_cycles[i] <= 0.0 && after.stage_cycles[i] <= 0.0) continue;
+    out += strfmt("%s;%s;%s %lld %lld\n", root.c_str(),
+                  perf_core_name(kStages[i].core), kStages[i].symbol,
+                  static_cast<long long>(std::llround(before.stage_cycles[i])),
+                  static_cast<long long>(std::llround(after.stage_cycles[i])));
+  }
+  return out;
+}
+
 Json to_json(const PerfReport& r) {
   Json j = Json::object();
   j["ts_sec"] = units::to_seconds(r.ts);

@@ -118,6 +118,13 @@ std::string format_perf_report(const PerfReport& r);
 // Brendan Gregg collapsed-stack lines: "engine;core;symbol cycles\n",
 // ready for flamegraph.pl. Zero-cycle stages are omitted.
 std::string format_flamegraph(const PerfReport& r);
+// Differential collapsed stacks, difffolded.pl shape: "stack beforeN afterN"
+// per line (`dtnsim-perf --flame --diff A B`; feed to flamegraph.pl
+// --negate for a red/blue diff). Stages zero in both reports are omitted;
+// when the two reports come from different engines both use the shared
+// root "dtnsim" so their frames align.
+std::string format_flamegraph_diff(const PerfReport& before,
+                                   const PerfReport& after);
 
 // ---- JSON round-trip (dtnsim-perf --json / --replay) ----------------------
 Json to_json(const PerfReport& r);

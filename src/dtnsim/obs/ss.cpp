@@ -55,8 +55,10 @@ std::string format_tcp_info(const TcpInfoSnapshot& s) {
   out += strfmt("\t bytes_sent:%s bytes_acked:%s bytes_retrans:%s retrans:0/%.0f\n",
                 fmt_bytes(s.bytes_sent).c_str(), fmt_bytes(s.bytes_acked).c_str(),
                 fmt_bytes(s.bytes_retrans).c_str(), s.segs_retrans);
-  out += strfmt("\t notsent:%s rcv_space:%s\n", fmt_bytes(s.notsent_bytes).c_str(),
-                fmt_bytes(s.rcv_space_bytes).c_str());
+  out += strfmt("\t notsent:%s rcv_space:%s rcv_rtt:%.3fms rcv_ooopack:%.0f\n",
+                fmt_bytes(s.notsent_bytes).c_str(),
+                fmt_bytes(s.rcv_space_bytes).c_str(), s.rcv_rtt_sec * 1e3,
+                s.rcv_ooopack);
   if (s.optmem_max_bytes > 0) {
     out += strfmt(
         "\t zerocopy: sent %s copied %s (%.0f fallback sends) "
@@ -203,6 +205,8 @@ Json to_json(const TcpInfoSnapshot& s) {
   j["segs_retrans"] = s.segs_retrans;
   j["notsent_bytes"] = s.notsent_bytes;
   j["rcv_space_bytes"] = s.rcv_space_bytes;
+  j["rcv_rtt_sec"] = s.rcv_rtt_sec;
+  j["rcv_ooopack"] = s.rcv_ooopack;
   j["optmem_used_bytes"] = s.optmem_used_bytes;
   j["optmem_max_bytes"] = s.optmem_max_bytes;
   j["optmem_hiwater_bytes"] = s.optmem_hiwater_bytes;
@@ -262,6 +266,8 @@ TcpInfoSnapshot tcp_info_from_json(const Json& j) {
   s.segs_retrans = j.number_at("segs_retrans", 0);
   s.notsent_bytes = j.number_at("notsent_bytes", 0);
   s.rcv_space_bytes = j.number_at("rcv_space_bytes", 0);
+  s.rcv_rtt_sec = j.number_at("rcv_rtt_sec", 0);
+  s.rcv_ooopack = j.number_at("rcv_ooopack", 0);
   s.optmem_used_bytes = j.number_at("optmem_used_bytes", 0);
   s.optmem_max_bytes = j.number_at("optmem_max_bytes", 0);
   s.optmem_hiwater_bytes = j.number_at("optmem_hiwater_bytes", 0);

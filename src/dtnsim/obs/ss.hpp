@@ -51,6 +51,10 @@ struct TcpInfoSnapshot {
   double segs_retrans = 0.0;            // tcpi_total_retrans
   double notsent_bytes = 0.0;           // tcpi_notsent_bytes
   double rcv_space_bytes = 0.0;         // tcpi_rcv_space (advertised headroom)
+  // Receiver-side estimates — observable once loss/reorder events (scenario
+  // timelines, retransmitted holes) make the receive path interesting.
+  double rcv_rtt_sec = 0.0;             // tcpi_rcv_rtt (receiver's estimate)
+  double rcv_ooopack = 0.0;             // tcpi_rcv_ooopack (out-of-order segs)
   // MSG_ZEROCOPY accounting (the Fig. 9 knee lives here).
   double optmem_used_bytes = 0.0;       // in-flight ubuf_info charges
   double optmem_max_bytes = 0.0;        // net.core.optmem_max

@@ -1,6 +1,7 @@
 #include "dtnsim/sweep/cache.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -110,6 +111,22 @@ FieldList spec_fields(const harness::TestSpec& spec) {
   add(f, "path.stray_loss_events_per_sec", num(spec.path.stray_loss_events_per_sec));
   add_host_fields(f, "sender.", spec.sender);
   add_host_fields(f, "receiver.", spec.receiver);
+  // Scenario timeline: every event is simulation-affecting, so each one
+  // enters the key (the display name stays cosmetic and excluded). Emitted
+  // only when non-empty so scenario-less keys — and the cell seeds derived
+  // from this canonical text — are byte-identical to pre-scenario builds.
+  if (!spec.scenario.empty()) {
+    add(f, "scenario.count", num(static_cast<int>(spec.scenario.events.size())));
+    for (std::size_t i = 0; i < spec.scenario.events.size(); ++i) {
+      const auto& e = spec.scenario.events[i];
+      const std::string p = strfmt("scenario.%03zu.", i);
+      add(f, p + "at_sec", num(e.at_sec));
+      add(f, p + "kind", std::string(scenario::kind_name(e.kind)));
+      add(f, p + "value", num(e.value));
+      add(f, p + "duration_sec", num(e.duration_sec));
+      add(f, p + "jitter_sec", num(e.jitter_sec));
+    }
+  }
   return f;
 }
 
@@ -238,6 +255,62 @@ bool ResultCache::store(const harness::TestSpec& spec,
   std::error_code ec;
   fs::rename(tmp, path, ec);
   return !ec;
+}
+
+GcReport ResultCache::gc(const GcOptions& opts) const {
+  GcReport report;
+  report.dry_run = opts.dry_run;
+  // GC is operational tooling, not simulation: the file mtime is the only
+  // honest age signal a cache directory has.
+  const auto now = fs::file_time_type::clock::now();  // dtnsim-lint: allow(determinism)
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const fs::path p = entry.path();
+    const std::string name = p.filename().string();
+    const auto ends_with = [&name](std::string_view suffix) {
+      return name.size() > suffix.size() &&
+             name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+    };
+    const bool is_tmp = ends_with(".json.tmp");
+    if (!is_tmp && !ends_with(".json")) continue;  // not ours; never touch
+    ++report.scanned;
+
+    bool evict = false;
+    if (is_tmp) {
+      // store() renames on success, so any surviving .tmp is an orphaned
+      // half-write from a killed run — always garbage.
+      evict = true;
+    } else {
+      if (opts.salt_mismatch) {
+        std::ifstream in(p);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        const auto doc = Json::parse(buffer.str());
+        // Unreadable/truncated entries can never be served again; under the
+        // salt criterion they go too.
+        if (!doc || doc->string_at("schema", "") != kCacheSalt) evict = true;
+      }
+      if (!evict && opts.max_age_days >= 0.0) {
+        const auto mtime = fs::last_write_time(p, ec);
+        if (!ec) {
+          const double age_days =
+              std::chrono::duration<double>(now - mtime).count() / 86400.0;
+          if (age_days > opts.max_age_days) evict = true;
+        }
+      }
+    }
+
+    if (evict) {
+      ++report.evicted;
+      const auto size = entry.file_size(ec);
+      if (!ec) report.reclaimed_bytes += size;
+      if (!opts.dry_run) fs::remove(p, ec);
+    } else {
+      ++report.kept;
+    }
+  }
+  return report;
 }
 
 }  // namespace dtnsim::sweep

@@ -53,6 +53,24 @@ Json result_to_json(const harness::TestResult& result);
 // False when `j` is not a result document (missing/mistyped fields).
 bool result_from_json(const Json& j, harness::TestResult* out);
 
+// Garbage collection over a cache directory (dtnsim-sweep --gc). Two
+// independent eviction criteria; an entry matching either goes.
+struct GcOptions {
+  double max_age_days = -1.0;  // evict entries older than this; < 0 = off
+  bool salt_mismatch = false;  // evict entries whose schema != kCacheSalt
+                               // (plus unreadable/truncated entries — they
+                               // can never be served again)
+  bool dry_run = false;        // report what would go; delete nothing
+};
+
+struct GcReport {
+  std::size_t scanned = 0;    // entries examined
+  std::size_t evicted = 0;    // deleted (or would be, under dry_run)
+  std::size_t kept = 0;
+  std::uintmax_t reclaimed_bytes = 0;  // total size of evicted entries
+  bool dry_run = false;
+};
+
 class ResultCache {
  public:
   // Creates `dir` (and parents) if missing; throws std::runtime_error when
@@ -71,6 +89,11 @@ class ResultCache {
   // Write-through: store via a temp file + atomic rename so an interrupt
   // mid-write never leaves a half-entry under the final name.
   bool store(const harness::TestSpec& spec, const harness::TestResult& result) const;
+
+  // Sweep the directory and evict entries matching `opts`. Orphaned .tmp
+  // files (a killed run's half-writes) are always eligible. Never touches
+  // files that are neither cache entries nor cache temp files.
+  GcReport gc(const GcOptions& opts) const;
 
  private:
   std::string dir_;

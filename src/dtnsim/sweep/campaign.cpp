@@ -329,7 +329,8 @@ bool needs_value(const std::string& flag) {
          flag == "--ring" || flag == "--congestion" || flag == "--time" ||
          flag == "--repeats" || flag == "--seed" || flag == "--jobs" ||
          flag == "--cache" || flag == "--out" || flag == "--checkpoint" ||
-         flag == "--max-cells" || flag == "--report";
+         flag == "--max-cells" || flag == "--report" || flag == "--scenarios" ||
+         flag == "--max-age-days";
 }
 
 }  // namespace
@@ -418,6 +419,26 @@ SweepCli parse_sweep_cli(const std::vector<std::string>& args) {
         o.error = "bad --ring list: " + value;
         return o;
       }
+    } else if (flag == "--scenarios") {
+      // Comma list of timeline JSON files; the word "none" is the empty
+      // (scenario-less) axis value.
+      o.grid.scenarios.clear();
+      for (const auto& item : split_list(value)) {
+        if (item == "none") {
+          o.grid.scenarios.emplace_back();
+          continue;
+        }
+        try {
+          o.grid.scenarios.push_back(scenario::load_timeline(item));
+        } catch (const std::exception& e) {
+          o.error = std::string("bad --scenarios entry: ") + e.what();
+          return o;
+        }
+      }
+      if (o.grid.scenarios.empty()) {
+        o.error = "--scenarios list is empty";
+        return o;
+      }
     } else if (flag == "--congestion") {
       const auto algo = cli::parse_congestion(value);
       if (!algo) {
@@ -468,6 +489,20 @@ SweepCli parse_sweep_cli(const std::vector<std::string>& args) {
       o.run.max_cells = static_cast<std::size_t>(n);
     } else if (flag == "--quick") {
       o.quick = true;
+    } else if (flag == "--gc") {
+      o.gc = true;
+    } else if (flag == "--max-age-days") {
+      char* end = nullptr;
+      const double days = std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size() || days < 0) {
+        o.error = "bad --max-age-days (need >= 0): " + value;
+        return o;
+      }
+      o.gc_opts.max_age_days = days;
+    } else if (flag == "--salt-mismatch") {
+      o.gc_opts.salt_mismatch = true;
+    } else if (flag == "--dry-run") {
+      o.gc_opts.dry_run = true;
     } else {
       o.error = "unknown flag: " + flag;
       return o;
@@ -493,6 +528,8 @@ std::string sweep_cli_help() {
       "      --optmem LIST      bytes or 'default', e.g. default,1M\n"
       "      --big-tcp LIST     0,1\n"
       "      --ring LIST        descriptors or 'default', e.g. default,8192\n"
+      "      --scenarios LIST   timeline JSON files or 'none', e.g.\n"
+      "                         none,scenarios/link_flap.json (docs/SCENARIO.md)\n"
       "grid constants:\n"
       "      --name S           campaign name (default 'campaign')\n"
       "      --testbed NAME     amlight | amlight-baremetal | esnet | production\n"
@@ -510,7 +547,13 @@ std::string sweep_cli_help() {
       "      --resume           skip cells the manifest marks complete\n"
       "      --max-cells K      stop after K cells (interrupt-style testing)\n"
       "      --report FILE      render the summary table from a finished\n"
-      "                         campaign's JSONL stream (no simulation)\n";
+      "                         campaign's JSONL stream (no simulation)\n"
+      "cache maintenance:\n"
+      "      --gc               garbage-collect the --cache directory and exit\n"
+      "      --max-age-days D   with --gc: evict entries older than D days\n"
+      "      --salt-mismatch    with --gc: evict entries from other schema\n"
+      "                         versions (and unreadable entries)\n"
+      "      --dry-run          with --gc: report what would go, delete nothing\n";
 }
 
 namespace {
@@ -577,6 +620,32 @@ int run_sweep_cli(const SweepCli& cli, std::string& output) {
   }
   if (!cli.report_path.empty()) {
     return render_campaign_report(cli.report_path, output);
+  }
+  if (cli.gc) {
+    if (cli.run.cache_dir.empty()) {
+      output = "error: --gc needs --cache DIR\n";
+      return 2;
+    }
+    if (cli.gc_opts.max_age_days < 0 && !cli.gc_opts.salt_mismatch) {
+      output = "error: --gc needs --max-age-days and/or --salt-mismatch\n";
+      return 2;
+    }
+    try {
+      const ResultCache cache(cli.run.cache_dir);
+      const GcReport gc = cache.gc(cli.gc_opts);
+      output = strfmt(
+          "cache gc: %s%s\n"
+          "  scanned  : %zu entries\n"
+          "  evicted  : %zu (%.1f KiB%s)\n"
+          "  kept     : %zu\n",
+          cli.run.cache_dir.c_str(), gc.dry_run ? " (dry run)" : "", gc.scanned,
+          gc.evicted, static_cast<double>(gc.reclaimed_bytes) / 1024.0,
+          gc.dry_run ? " would be reclaimed" : " reclaimed", gc.kept);
+      return 0;
+    } catch (const std::exception& e) {
+      output = strfmt("error: %s\n", e.what());
+      return 2;
+    }
   }
 
   CampaignReport report;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "dtnsim/obs/metrics.hpp"
+#include "dtnsim/sweep/cache.hpp"
 #include "dtnsim/sweep/grid.hpp"
 
 namespace dtnsim::sweep {
@@ -89,6 +90,10 @@ struct SweepCli {
   // Non-empty: render the paper-style summary table from a finished
   // campaign's JSONL results stream (--out file) and exit — no simulation.
   std::string report_path;
+  // --gc: garbage-collect the --cache directory and exit — no simulation.
+  // Criteria come from --max-age-days / --salt-mismatch, --dry-run previews.
+  bool gc = false;
+  GcOptions gc_opts;
 };
 
 SweepCli parse_sweep_cli(const std::vector<std::string>& args);

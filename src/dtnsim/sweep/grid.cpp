@@ -16,6 +16,11 @@ std::string fmt_ring(int v) {
   return v < 0 ? std::string("default") : strfmt("%d", v);
 }
 
+std::string fmt_scenario(const dtnsim::scenario::Timeline& tl) {
+  if (tl.empty()) return "none";
+  return tl.name.empty() ? std::string("unnamed") : tl.name;
+}
+
 // Derive the cell seed from the knob content, not the cell position: hash
 // the canonical spec with the seed field zeroed, then mix in the campaign
 // base seed. Reordering or extending an axis never perturbs other cells.
@@ -36,9 +41,17 @@ std::string validate(const GridSpec& grid) {
       {"streams", grid.streams.empty()},   {"pacing_gbps", grid.pacing_gbps.empty()},
       {"zerocopy", grid.zerocopy.empty()}, {"optmem_max", grid.optmem_max.empty()},
       {"big_tcp", grid.big_tcp.empty()},   {"ring", grid.ring.empty()},
+      {"scenarios", grid.scenarios.empty()},
   };
   for (const auto& a : axes) {
     if (a.empty) return strfmt("axis '%s' is empty", a.axis);
+  }
+  for (const auto& tl : grid.scenarios) {
+    try {
+      tl.validate();
+    } catch (const std::exception& e) {
+      return e.what();
+    }
   }
   for (const int s : grid.streams) {
     if (s < 1 || s > 128) return strfmt("streams value %d out of [1, 128]", s);
@@ -64,7 +77,7 @@ std::string validate(const GridSpec& grid) {
 std::size_t cell_count(const GridSpec& grid) {
   return grid.kernels.size() * grid.paths.size() * grid.streams.size() *
          grid.pacing_gbps.size() * grid.zerocopy.size() * grid.optmem_max.size() *
-         grid.big_tcp.size() * grid.ring.size();
+         grid.big_tcp.size() * grid.ring.size() * grid.scenarios.size();
 }
 
 std::vector<Cell> expand(const GridSpec& grid) {
@@ -85,46 +98,55 @@ std::vector<Cell> expand(const GridSpec& grid) {
             for (const double optmem : grid.optmem_max) {
               for (const bool big_tcp : grid.big_tcp) {
                 for (const int ring : grid.ring) {
-                  app::IperfOptions iperf;
-                  iperf.parallel = streams;
-                  iperf.duration_sec = grid.duration_sec;
-                  iperf.fq_rate_bps = pacing * 1e9;
-                  iperf.zerocopy = zerocopy;
-                  iperf.skip_rx_copy = grid.skip_rx_copy;
-                  iperf.congestion = grid.congestion;
+                  for (const auto& scn : grid.scenarios) {
+                    app::IperfOptions iperf;
+                    iperf.parallel = streams;
+                    iperf.duration_sec = grid.duration_sec;
+                    iperf.fq_rate_bps = pacing * 1e9;
+                    iperf.zerocopy = zerocopy;
+                    iperf.skip_rx_copy = grid.skip_rx_copy;
+                    iperf.congestion = grid.congestion;
 
-                  Cell cell;
-                  cell.index = cells.size();
-                  cell.spec = harness::TestSpec::on(tb, path_name, iperf);
-                  cell.spec.repeats = grid.repeats;
-                  cell.spec.telemetry = grid.telemetry;
-                  for (auto* h : {&cell.spec.sender, &cell.spec.receiver}) {
-                    if (optmem >= 0) h->tuning.sysctl.optmem_max = optmem;
-                    if (big_tcp) {
-                      h->tuning.big_tcp_enabled = true;
-                      h->tuning.big_tcp_bytes = grid.big_tcp_bytes;
+                    Cell cell;
+                    cell.index = cells.size();
+                    cell.spec = harness::TestSpec::on(tb, path_name, iperf);
+                    cell.spec.repeats = grid.repeats;
+                    cell.spec.telemetry = grid.telemetry;
+                    cell.spec.scenario = scn;
+                    for (auto* h : {&cell.spec.sender, &cell.spec.receiver}) {
+                      if (optmem >= 0) h->tuning.sysctl.optmem_max = optmem;
+                      if (big_tcp) {
+                        h->tuning.big_tcp_enabled = true;
+                        h->tuning.big_tcp_bytes = grid.big_tcp_bytes;
+                      }
+                      if (ring > 0) h->tuning.ring_descriptors = ring;
                     }
-                    if (ring > 0) h->tuning.ring_descriptors = ring;
-                  }
-                  cell.spec.base_seed = derive_seed(cell.spec, grid.base_seed);
-                  cell.spec.name = strfmt(
-                      "%s/%s/%s/P%d/pace%g/zc%d/optmem%s/bigtcp%d/ring%s",
-                      grid.name.c_str(), kern::kernel_version_name(kernel),
-                      path_name.c_str(), streams, pacing, zerocopy ? 1 : 0,
-                      fmt_bytes(optmem).c_str(), big_tcp ? 1 : 0,
-                      fmt_ring(ring).c_str());
+                    cell.spec.base_seed = derive_seed(cell.spec, grid.base_seed);
+                    cell.spec.name = strfmt(
+                        "%s/%s/%s/P%d/pace%g/zc%d/optmem%s/bigtcp%d/ring%s",
+                        grid.name.c_str(), kern::kernel_version_name(kernel),
+                        path_name.c_str(), streams, pacing, zerocopy ? 1 : 0,
+                        fmt_bytes(optmem).c_str(), big_tcp ? 1 : 0,
+                        fmt_ring(ring).c_str());
+                    // Scenario-less names stay exactly as before the axis
+                    // existed, so prior campaign labels remain addressable.
+                    if (!scn.empty()) {
+                      cell.spec.name += "/scn-" + fmt_scenario(scn);
+                    }
 
-                  cell.coords = {
-                      {"kernel", kern::kernel_version_name(kernel)},
-                      {"path", path_name},
-                      {"streams", strfmt("%d", streams)},
-                      {"pacing_gbps", strfmt("%g", pacing)},
-                      {"zerocopy", zerocopy ? "1" : "0"},
-                      {"optmem_max", fmt_bytes(optmem)},
-                      {"big_tcp", big_tcp ? "1" : "0"},
-                      {"ring", fmt_ring(ring)},
-                  };
-                  cells.push_back(std::move(cell));
+                    cell.coords = {
+                        {"kernel", kern::kernel_version_name(kernel)},
+                        {"path", path_name},
+                        {"streams", strfmt("%d", streams)},
+                        {"pacing_gbps", strfmt("%g", pacing)},
+                        {"zerocopy", zerocopy ? "1" : "0"},
+                        {"optmem_max", fmt_bytes(optmem)},
+                        {"big_tcp", big_tcp ? "1" : "0"},
+                        {"ring", fmt_ring(ring)},
+                        {"scenario", fmt_scenario(scn)},
+                    };
+                    cells.push_back(std::move(cell));
+                  }
                 }
               }
             }

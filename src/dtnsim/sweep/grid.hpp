@@ -41,6 +41,10 @@ struct GridSpec {
   std::vector<double> optmem_max{-1.0};  // bytes; < 0 -> testbed default
   std::vector<bool> big_tcp{false};
   std::vector<int> ring{-1};             // descriptors; < 0 -> testbed default
+  // Scenario timelines (docs/SCENARIO.md); an empty Timeline is the "no
+  // scenario" value. Non-empty timelines enter the cell seed and the cache
+  // key event-by-event, so editing a timeline re-simulates only its cells.
+  std::vector<dtnsim::scenario::Timeline> scenarios{dtnsim::scenario::Timeline{}};
 
   // Non-axis knobs applied to every cell.
   bool skip_rx_copy = false;

@@ -315,5 +315,44 @@ TEST(PerfWatch, CrossCheckThrowsOnDivergence) {
   EXPECT_NO_THROW(obs::cross_check_stage_sum(r));
 }
 
+// ---- differential flamegraph (dtnsim-perf --flame --diff) ------------------
+
+TEST(PerfFlamegraphDiff, DifffoldedShapeSkipsBothZeroStages) {
+  obs::PerfReport before, after;
+  before.engine = after.engine = "fluid";
+  before.stage_cycles[static_cast<int>(obs::PerfStage::TxUserCopy)] = 100.0;
+  after.stage_cycles[static_cast<int>(obs::PerfStage::TxUserCopy)] = 0.0;
+  after.stage_cycles[static_cast<int>(obs::PerfStage::TxZcPin)] = 40.0;
+
+  const auto out = obs::format_flamegraph_diff(before, after);
+  // One line per stage live in either report: "stack before after".
+  EXPECT_NE(out.find("fluid;snd_app;copy_user_enhanced_fast_string 100 0\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("fluid;snd_app;zerocopy_sg_from_iter 0 40\n"),
+            std::string::npos);
+  // Stages zero in both reports are omitted entirely.
+  EXPECT_EQ(out.find("tcp_gso_segment"), std::string::npos);
+  // Every line has exactly two counts (difffolded.pl shape).
+  std::stringstream ss(out);
+  for (std::string line; std::getline(ss, line);) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ' '), 2) << line;
+  }
+}
+
+TEST(PerfFlamegraphDiff, CrossEngineDiffSharesTheRootFrame) {
+  obs::PerfReport before, after;
+  before.engine = "fluid";
+  after.engine = "packet";
+  before.stage_cycles[static_cast<int>(obs::PerfStage::TxUserCopy)] = 10.0;
+  after.stage_cycles[static_cast<int>(obs::PerfStage::TxUserCopy)] = 20.0;
+  const auto out = obs::format_flamegraph_diff(before, after);
+  EXPECT_NE(out.find("dtnsim;snd_app;copy_user_enhanced_fast_string 10 20\n"),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("fluid;"), std::string::npos);
+  EXPECT_EQ(out.find("packet;"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dtnsim

@@ -457,5 +457,176 @@ TEST(SweepCli, EndToEndTinyCampaign) {
       << output;
 }
 
+// ---- scenario axis ---------------------------------------------------------
+
+scenario::Timeline tiny_loss_timeline() {
+  scenario::Timeline tl;
+  tl.name = "loss";
+  scenario::Event e;
+  e.at_sec = 1.0;
+  e.kind = scenario::EventKind::LossBurst;
+  e.value = 0.02;
+  e.duration_sec = 0.5;
+  tl.events.push_back(e);
+  return tl;
+}
+
+TEST(SweepGrid, ScenarioAxisMultipliesCellsAndKeepsBaselineStable) {
+  GridSpec g = twelve_cell_grid();
+  const auto baseline = expand(g);
+  g.scenarios = {scenario::Timeline{}, tiny_loss_timeline()};
+  const auto cells = expand(g);
+  ASSERT_EQ(cells.size(), baseline.size() * 2);
+
+  // The scenario-less cells are byte-identical to the pre-axis expansion:
+  // same names, same seeds, same cache keys. Adding the axis must never
+  // invalidate existing caches.
+  std::size_t plain = 0, scn = 0;
+  for (const auto& c : cells) {
+    ASSERT_FALSE(c.coords.empty());
+    EXPECT_EQ(c.coords.back().first, "scenario");
+    if (c.spec.scenario.empty()) {
+      const auto& b = baseline[plain++];
+      EXPECT_EQ(c.spec.name, b.spec.name);
+      EXPECT_EQ(c.spec.base_seed, b.spec.base_seed);
+      EXPECT_EQ(spec_key_hex(c.spec), spec_key_hex(b.spec));
+      EXPECT_EQ(c.coords.back().second, "none");
+    } else {
+      ++scn;
+      EXPECT_NE(c.spec.name.find("/scn-loss"), std::string::npos) << c.spec.name;
+      EXPECT_EQ(c.coords.back().second, "loss");
+    }
+  }
+  EXPECT_EQ(plain, baseline.size());
+  EXPECT_EQ(scn, baseline.size());
+}
+
+TEST(SweepCache, ScenarioChangesTheKeyAndTheSeed) {
+  GridSpec g = twelve_cell_grid();
+  g.kernels = {kern::KernelVersion::V6_8};
+  g.paths = {"LAN"};
+  g.streams = {1};
+  g.scenarios = {scenario::Timeline{}, tiny_loss_timeline()};
+  const auto cells = expand(g);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_NE(spec_key_hex(cells[0].spec), spec_key_hex(cells[1].spec));
+  EXPECT_NE(cells[0].spec.base_seed, cells[1].spec.base_seed);
+
+  // No scenario -> no scenario fields in the canonical text at all.
+  const auto plain_text = canonicalize(spec_fields(cells[0].spec));
+  const auto scn_text = canonicalize(spec_fields(cells[1].spec));
+  EXPECT_EQ(plain_text.find("scenario."), std::string::npos);
+  EXPECT_NE(scn_text.find("scenario.000.kind=loss_burst"), std::string::npos)
+      << scn_text;
+}
+
+TEST(SweepCli, ScenariosFlagParsesFilesAndNone) {
+  const std::string dir = scratch_dir("scn_flag");
+  const std::string tl_path = dir + "/loss.json";
+  ASSERT_TRUE(scenario::write_timeline(tl_path, tiny_loss_timeline()));
+
+  const auto cli = parse_sweep_cli({"--scenarios", "none," + tl_path});
+  ASSERT_TRUE(cli.error.empty()) << cli.error;
+  ASSERT_EQ(cli.grid.scenarios.size(), 2u);
+  EXPECT_TRUE(cli.grid.scenarios[0].empty());
+  EXPECT_EQ(cli.grid.scenarios[1].name, "loss");
+
+  EXPECT_FALSE(parse_sweep_cli({"--scenarios", dir + "/absent.json"}).error.empty());
+}
+
+// ---- cache garbage collection ----------------------------------------------
+
+// A directory with one live entry, one wrong-salt entry, one orphan temp
+// file and one unrelated file — the GC fixture.
+struct GcFixture {
+  std::string dir;
+  fs::path live, stale, tmp, unrelated;
+};
+
+GcFixture make_gc_fixture(const std::string& name) {
+  GcFixture f;
+  f.dir = scratch_dir(name);
+  f.live = fs::path(f.dir) / "aaaaaaaaaaaaaaaa.json";
+  f.stale = fs::path(f.dir) / "bbbbbbbbbbbbbbbb.json";
+  f.tmp = fs::path(f.dir) / "cccccccccccccccc.json.tmp";
+  f.unrelated = fs::path(f.dir) / "README";
+  std::ofstream(f.live) << "{\"schema\": \"" << kCacheSalt << "\"}";
+  std::ofstream(f.stale) << "{\"schema\": \"dtnsim.sweep.v0\"}";
+  std::ofstream(f.tmp) << "{\"half\": tru";
+  std::ofstream(f.unrelated) << "not a cache entry";
+  return f;
+}
+
+TEST(SweepCacheGc, SaltMismatchEvictsStaleAndTempNeverUnrelated) {
+  const auto f = make_gc_fixture("gc_salt");
+  GcOptions opts;
+  opts.salt_mismatch = true;
+  const auto rep = ResultCache(f.dir).gc(opts);
+  EXPECT_EQ(rep.scanned, 3u);  // live + stale + tmp; README is not scanned
+  EXPECT_EQ(rep.evicted, 2u);
+  EXPECT_EQ(rep.kept, 1u);
+  EXPECT_GT(rep.reclaimed_bytes, 0u);
+  EXPECT_TRUE(fs::exists(f.live));
+  EXPECT_FALSE(fs::exists(f.stale));
+  EXPECT_FALSE(fs::exists(f.tmp));
+  EXPECT_TRUE(fs::exists(f.unrelated));
+}
+
+TEST(SweepCacheGc, MaxAgeEvictsOnlyOldEntries) {
+  const auto f = make_gc_fixture("gc_age");
+  // Age the live entry far past the cutoff; the stale one stays fresh (age
+  // GC alone does not look at the salt).
+  fs::last_write_time(f.live, fs::file_time_type::clock::now() -
+                                  std::chrono::hours(24 * 30));
+  GcOptions opts;
+  opts.max_age_days = 7.0;
+  const auto rep = ResultCache(f.dir).gc(opts);
+  EXPECT_EQ(rep.evicted, 2u);  // old live entry + the always-eligible tmp
+  EXPECT_FALSE(fs::exists(f.live));
+  EXPECT_TRUE(fs::exists(f.stale));
+  EXPECT_FALSE(fs::exists(f.tmp));
+}
+
+TEST(SweepCacheGc, DryRunReportsButDeletesNothing) {
+  const auto f = make_gc_fixture("gc_dry");
+  GcOptions opts;
+  opts.salt_mismatch = true;
+  opts.dry_run = true;
+  const auto rep = ResultCache(f.dir).gc(opts);
+  EXPECT_TRUE(rep.dry_run);
+  EXPECT_EQ(rep.evicted, 2u);
+  EXPECT_TRUE(fs::exists(f.stale));
+  EXPECT_TRUE(fs::exists(f.tmp));
+}
+
+TEST(SweepCli, GcFlagsParseAndRequireCacheAndCriterion) {
+  const auto cli = parse_sweep_cli({"--gc", "--cache", "/tmp/c",
+                                    "--max-age-days", "7", "--dry-run"});
+  ASSERT_TRUE(cli.error.empty()) << cli.error;
+  EXPECT_TRUE(cli.gc);
+  EXPECT_DOUBLE_EQ(cli.gc_opts.max_age_days, 7.0);
+  EXPECT_TRUE(cli.gc_opts.dry_run);
+
+  EXPECT_FALSE(parse_sweep_cli({"--gc", "--max-age-days", "potato"}).error.empty());
+
+  std::string output;
+  // --gc without --cache, and without any criterion: both usage errors.
+  EXPECT_EQ(run_sweep_cli(parse_sweep_cli({"--gc", "--max-age-days", "7"}),
+                          output), 2);
+  const std::string dir = scratch_dir("gc_cli");
+  EXPECT_EQ(run_sweep_cli(parse_sweep_cli({"--gc", "--cache", dir}), output), 2);
+}
+
+TEST(SweepCli, GcEndToEndThroughTheCli) {
+  const auto f = make_gc_fixture("gc_cli_e2e");
+  std::string output;
+  const auto cli = parse_sweep_cli({"--gc", "--cache", f.dir, "--salt-mismatch"});
+  ASSERT_TRUE(cli.error.empty()) << cli.error;
+  EXPECT_EQ(run_sweep_cli(cli, output), 0);
+  EXPECT_NE(output.find("evicted"), std::string::npos) << output;
+  EXPECT_FALSE(fs::exists(f.stale));
+  EXPECT_TRUE(fs::exists(f.live));
+}
+
 }  // namespace
 }  // namespace dtnsim::sweep

@@ -15,6 +15,9 @@
 //   --report        perf-report-style text output (the default)
 //   --flame         collapsed stacks (engine;core;symbol N) for flamegraph.pl
 //   --replay FILE   render FILE (a --perf-out / --json dump) and exit
+//   --diff A B      with --flame: differential collapsed stacks between two
+//                   recorded logs ("stack beforeN afterN", difffolded.pl
+//                   shape; flamegraph.pl --negate renders the red/blue view)
 //   -J, --json      emit the attribution log as JSON instead of text
 //   --perf-out FILE additionally write the JSON log to FILE
 #include <cstdio>
@@ -47,25 +50,48 @@ void render(const std::vector<dtnsim::obs::PerfReport>& log, Mode mode) {
   }
 }
 
-int replay(const std::string& path, Mode mode) {
+// Load a recorded attribution log; empty vector (with a message) on error.
+std::vector<dtnsim::obs::PerfReport> load_log(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
-    return 1;
+    return {};
   }
   std::ostringstream buf;
   buf << in.rdbuf();
   const auto doc = dtnsim::Json::parse(buf.str());
   if (!doc) {
     std::fprintf(stderr, "error: %s is not valid JSON\n", path.c_str());
-    return 2;
+    return {};
   }
   const auto log = dtnsim::obs::perf_log_from_json(*doc);
   if (log.empty()) {
     std::fprintf(stderr, "error: %s holds no samples\n", path.c_str());
+  }
+  return log;
+}
+
+int replay(const std::string& path, Mode mode) {
+  const auto log = load_log(path);
+  if (log.empty()) return 2;
+  render(log, mode);
+  return 0;
+}
+
+// `--flame --diff A B`: differential profile between two recorded logs. The
+// final sample of each log carries the whole run's attribution, so the diff
+// compares run totals — before (A) against after (B).
+int diff(const std::string& a_path, const std::string& b_path, Mode mode) {
+  if (mode != Mode::Flame) {
+    std::fprintf(stderr, "error: --diff needs --flame (differential stacks)\n");
     return 2;
   }
-  render(log, mode);
+  const auto a = load_log(a_path);
+  if (a.empty()) return 2;
+  const auto b = load_log(b_path);
+  if (b.empty()) return 2;
+  std::fputs(dtnsim::obs::format_flamegraph_diff(a.back(), b.back()).c_str(),
+             stdout);
   return 0;
 }
 
@@ -74,6 +100,7 @@ int replay(const std::string& path, Mode mode) {
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   std::string replay_path;
+  std::string diff_a, diff_b;
   Mode mode = Mode::Report;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -81,6 +108,13 @@ int main(int argc, char** argv) {
       args.push_back("--perf-watch");
     } else if (a.rfind("--record=", 0) == 0) {
       args.push_back("--perf-watch=" + a.substr(9));
+    } else if (a == "--diff") {
+      if (i + 2 >= argc) {
+        std::fprintf(stderr, "error: --diff needs two log files (before after)\n");
+        return 2;
+      }
+      diff_a = argv[++i];
+      diff_b = argv[++i];
     } else if (a == "--replay") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: missing value for --replay\n");
@@ -99,6 +133,7 @@ int main(int argc, char** argv) {
       args.push_back(a);
     }
   }
+  if (!diff_a.empty()) return diff(diff_a, diff_b, mode);
   if (!replay_path.empty()) return replay(replay_path, mode);
 
   auto opts = dtnsim::cli::parse_cli(args);
@@ -116,6 +151,8 @@ int main(int argc, char** argv) {
         "      --report         perf-report-style text output (default)\n"
         "      --flame          collapsed stacks for flamegraph.pl\n"
         "      --replay FILE    render a recorded log, no simulation\n"
+        "      --diff A B       with --flame: differential stacks between two\n"
+        "                       recorded logs (difffolded.pl shape)\n"
         "  -J, --json           emit the attribution log as JSON\n"
         "      --perf-out FILE  also write the JSON log to FILE\n"
         "\n"

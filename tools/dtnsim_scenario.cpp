@@ -1,0 +1,199 @@
+// dtnsim-scenario: author, check and replay mid-run fault timelines.
+//
+// The scenario subsystem (docs/SCENARIO.md) turns a static dtnsim run into a
+// time-varying one — loss bursts, link flaps, background surges, mid-transfer
+// retunes. This tool is the workflow around those timeline files:
+//
+//   $ dtnsim-scenario --validate scenarios/loss_burst.json
+//   $ dtnsim-scenario --preview scenarios/link_flap.json --seed 7
+//   $ dtnsim-scenario --run --scenario scenarios/bg_surge.json
+//         --testbed amlight --path "WAN 106ms" -C bbr -t 60
+//   $ dtnsim-scenario --replay run.events.json
+//
+// Tool-specific flags (everything else is forwarded to the shared CLI):
+//   --validate FILE  parse + validate a timeline, report, and exit
+//   --preview FILE   render the timeline (jittered fire windows included)
+//   --replay FILE    render a recorded event log (a --scenario-out dump)
+//   --run            simulate with --scenario FILE and print the event log
+// --preview and --run honour the shared --seed flag; the same seed that
+// produced a run reproduces its jittered fire times exactly.
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dtnsim/cli/cli.hpp"
+#include "dtnsim/scenario/scenario.hpp"
+
+namespace {
+
+using dtnsim::scenario::AppliedEvent;
+using dtnsim::scenario::EventLog;
+
+std::string strfmt(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  char buf[512];
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+// One line per crossed event, mirroring the --preview layout so a rendered
+// log diffs cleanly against the timeline that produced it.
+void render_event_log(const EventLog& log) {
+  std::size_t applied = 0;
+  for (const auto& e : log.events) applied += e.applied ? 1 : 0;
+  std::printf("event log: timeline \"%s\" on %s engine", log.timeline.c_str(),
+              log.engine.empty() ? "?" : log.engine.c_str());
+  if (!log.label.empty()) std::printf(" (%s)", log.label.c_str());
+  std::printf(" — %zu event%s crossed, %zu applied\n", log.events.size(),
+              log.events.size() == 1 ? "" : "s", applied);
+  for (const auto& e : log.events) {
+    std::string window = strfmt("t=%8.3fs", e.fire_sec);
+    if (e.end_sec > 0.0) window += strfmt(" ..%8.3fs", e.end_sec);
+    std::printf("  %-22s %-18s value=%-14g %s%s%s\n", window.c_str(),
+                std::string(dtnsim::scenario::kind_name(e.kind)).c_str(),
+                e.value, e.applied ? "applied" : "UNSUPPORTED",
+                e.note.empty() ? "" : "  # ", e.note.c_str());
+  }
+}
+
+int validate(const std::string& path) {
+  try {
+    const auto tl = dtnsim::scenario::load_timeline(path);
+    std::printf("ok: %s — timeline \"%s\", %zu event%s\n", path.c_str(),
+                tl.name.c_str(), tl.events.size(),
+                tl.events.size() == 1 ? "" : "s");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+int preview(const std::string& path, std::uint64_t seed) {
+  try {
+    const auto tl = dtnsim::scenario::load_timeline(path);
+    std::fputs(dtnsim::scenario::preview_timeline(tl, seed).c_str(), stdout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+int replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto doc = dtnsim::Json::parse(buf.str());
+  if (!doc) {
+    std::fprintf(stderr, "error: %s is not valid JSON\n", path.c_str());
+    return 2;
+  }
+  const auto log = dtnsim::scenario::event_log_from_json(*doc);
+  if (!log) {
+    std::fprintf(stderr, "error: %s is not an event log\n", path.c_str());
+    return 2;
+  }
+  render_event_log(*log);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  std::string validate_path, preview_path, replay_path;
+  bool run_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto take_value = [&](std::string& slot) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: missing value for %s\n", a.c_str());
+        return false;
+      }
+      slot = argv[++i];
+      return true;
+    };
+    if (a == "--validate") {
+      if (!take_value(validate_path)) return 2;
+    } else if (a.rfind("--validate=", 0) == 0) {
+      validate_path = a.substr(11);
+    } else if (a == "--preview") {
+      if (!take_value(preview_path)) return 2;
+    } else if (a.rfind("--preview=", 0) == 0) {
+      preview_path = a.substr(10);
+    } else if (a == "--replay") {
+      if (!take_value(replay_path)) return 2;
+    } else if (a.rfind("--replay=", 0) == 0) {
+      replay_path = a.substr(9);
+    } else if (a == "--run") {
+      run_mode = true;
+    } else {
+      args.push_back(a);
+    }
+  }
+
+  auto opts = dtnsim::cli::parse_cli(args);
+  if (!opts.error.empty()) {
+    std::fprintf(stderr, "error: %s\n\n%s", opts.error.c_str(),
+                 dtnsim::cli::cli_help().c_str());
+    return 2;
+  }
+  if (opts.show_help ||
+      (validate_path.empty() && preview_path.empty() && replay_path.empty() &&
+       !run_mode)) {
+    std::fputs(
+        "dtnsim-scenario — author, check and replay mid-run fault timelines\n"
+        "\n"
+        "tool flags (docs/SCENARIO.md has the event taxonomy):\n"
+        "      --validate FILE  parse + validate a timeline and exit\n"
+        "      --preview FILE   render fire windows (honours --seed)\n"
+        "      --replay FILE    render a recorded event log\n"
+        "      --run            simulate with --scenario FILE, print the log\n"
+        "\n"
+        "scenario flags (shared with dtnsim-iperf3):\n",
+        stdout);
+    std::fputs(dtnsim::cli::cli_help().c_str(), stdout);
+    return opts.show_help ? 0 : 2;
+  }
+
+  if (!validate_path.empty()) return validate(validate_path);
+  if (!preview_path.empty()) return preview(preview_path, opts.seed);
+  if (!replay_path.empty()) return replay(replay_path);
+
+  // --run: simulate with the timeline and print the crossed-event log.
+  if (opts.scenario_file.empty()) {
+    std::fprintf(stderr, "error: --run needs --scenario FILE\n");
+    return 2;
+  }
+  dtnsim::harness::TestSpec spec;
+  try {
+    spec = dtnsim::cli::spec_from_cli(opts);
+  } catch (const std::exception& e) {  // unknown testbed/path or bad timeline
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  const auto result = dtnsim::harness::run_test(spec);
+  std::printf("%s: %.2f Gbps mean over %d repeat%s, %.0f retransmits\n",
+              spec.name.empty() ? "run" : spec.name.c_str(), result.avg_gbps,
+              result.repeats, result.repeats == 1 ? "" : "s",
+              result.avg_retransmits);
+  render_event_log(result.scenario_log);
+  if (!opts.scenario_out.empty() &&
+      !dtnsim::scenario::write_event_log(opts.scenario_out,
+                                         result.scenario_log)) {
+    std::fprintf(stderr, "error: cannot write event log to %s\n",
+                 opts.scenario_out.c_str());
+    return 1;
+  }
+  return 0;
+}
