@@ -13,22 +13,22 @@ GroCounts gro_counts(units::Bytes payload, const SkbCaps& caps, units::Bytes mtu
 }
 
 GroEngine::GroEngine(const SkbCaps& caps, units::Bytes mtu)
-    : gro_bytes_(effective_gro_bytes(caps, mtu).value()) {}
+    : gro_bytes_(effective_gro_bytes(caps, mtu)) {}
 
 std::optional<units::Bytes> GroEngine::add_segment(units::Bytes segment) {
-  pending_ += std::max(segment.value(), 0.0);
+  pending_ += std::max(segment, units::Bytes{0.0});
   if (pending_ >= gro_bytes_) {
-    const units::Bytes out{pending_};
-    pending_ = 0.0;
+    const units::Bytes out = pending_;
+    pending_ = units::Bytes{0.0};
     return out;
   }
   return std::nullopt;
 }
 
 std::optional<units::Bytes> GroEngine::flush() {
-  if (pending_ <= 0.0) return std::nullopt;
-  const units::Bytes out{pending_};
-  pending_ = 0.0;
+  if (pending_ <= units::Bytes{0.0}) return std::nullopt;
+  const units::Bytes out = pending_;
+  pending_ = units::Bytes{0.0};
   return out;
 }
 

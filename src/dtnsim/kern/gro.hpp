@@ -33,12 +33,12 @@ class GroEngine {
   // NAPI flush: whatever is pending becomes an aggregate.
   std::optional<units::Bytes> flush();
 
-  double pending_bytes() const { return pending_; }
-  double gro_bytes() const { return gro_bytes_; }
+  double pending_bytes() const { return pending_.value(); }
+  double gro_bytes() const { return gro_bytes_.value(); }
 
  private:
-  double gro_bytes_;
-  double pending_ = 0.0;
+  units::Bytes gro_bytes_;
+  units::Bytes pending_{0.0};
 };
 
 }  // namespace dtnsim::kern

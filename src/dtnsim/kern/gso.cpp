@@ -8,13 +8,14 @@ namespace dtnsim::kern {
 GsoCounts gso_counts(units::Bytes payload, const SkbCaps& caps, bool zerocopy,
                      units::Bytes mtu) {
   GsoCounts out;
-  const double bytes = payload.value();
-  if (bytes <= 0) return out;
-  out.gso_bytes = effective_gso_bytes(caps, zerocopy, mtu).value();
-  out.superpackets = bytes / out.gso_bytes;
+  const units::Bytes bytes = payload;
+  if (bytes <= units::Bytes{0.0}) return out;
+  const units::Bytes gso = effective_gso_bytes(caps, zerocopy, mtu);
+  out.gso_bytes = gso.value();
+  out.superpackets = bytes / gso;
   // TCP payload per wire segment: MTU minus IPv4+TCP headers (40 bytes,
   // timestamps ignored at this granularity).
-  const double mss = std::max(mtu.value() - 40.0, 1.0);
+  const units::Bytes mss = std::max(mtu - units::Bytes{40.0}, units::Bytes{1.0});
   out.wire_segments = bytes / mss;
   return out;
 }
@@ -22,11 +23,11 @@ GsoCounts gso_counts(units::Bytes payload, const SkbCaps& caps, bool zerocopy,
 std::vector<double> gso_segment(units::Bytes payload, const SkbCaps& caps, bool zerocopy,
                                 units::Bytes mtu) {
   std::vector<double> skbs;
-  const double gso = effective_gso_bytes(caps, zerocopy, mtu).value();
-  double bytes = payload.value();
-  while (bytes > 0) {
-    const double take = std::min(bytes, gso);
-    skbs.push_back(take);
+  const units::Bytes gso = effective_gso_bytes(caps, zerocopy, mtu);
+  units::Bytes bytes = payload;
+  while (bytes > units::Bytes{0.0}) {
+    const units::Bytes take = std::min(bytes, gso);
+    skbs.push_back(take.value());
     bytes -= take;
   }
   return skbs;

@@ -1,0 +1,47 @@
+// Shared lexical machinery for the dtnsim-lint passes: line splitting,
+// comment/string scrubbing, suppression parsing, word-boundary search, path
+// utilities, and the per-line preprocessor-conditional map the project-wide
+// rules use to stay `#if`/`#ifdef`-aware. Internal to src/dtnsim/lint/ —
+// tools include lint.hpp / project.hpp, never this header.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dtnsim::lint::detail {
+
+std::vector<std::string> split_path(const std::string& path);
+bool ends_with(const std::string& s, const std::string& suffix);
+bool is_ident_char(char c);
+
+// Split into lines; the trailing fragment after the last '\n' is a line too.
+std::vector<std::string> split_lines(const std::string& content);
+
+// Blank out comments, string literals, and char literals in-place across
+// lines, preserving column positions so findings point at real code. The
+// suppression scanner runs on the raw lines *before* this pass.
+std::vector<std::string> scrub(const std::vector<std::string>& raw);
+
+// Which rules line N suppresses (via its own or the previous raw line).
+struct Suppressions {
+  std::vector<std::vector<std::string>> per_line;  // rule ids; "all" wildcard
+
+  bool allows(std::size_t line_idx, const std::string& rule) const;
+};
+
+Suppressions parse_suppressions(const std::vector<std::string>& raw);
+
+// Find identifier `word` in `line` at word boundaries; returns npos or index.
+std::size_t find_word(const std::string& line, const std::string& word,
+                      std::size_t from = 0);
+
+std::string json_escape(const std::string& s);
+
+// Per-line preprocessor-conditional nesting depth over the raw lines: 0 =
+// unconditional code, >0 = inside `#if`/`#ifdef`/`#ifndef` ... `#endif`.
+// The opening directive line itself already counts as conditional (the
+// guarded region starts there); `#else`/`#elif` keep the depth. Unbalanced
+// `#endif` clamps at 0 rather than going negative.
+std::vector<int> conditional_depth(const std::vector<std::string>& raw);
+
+}  // namespace dtnsim::lint::detail

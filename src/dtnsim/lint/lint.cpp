@@ -5,8 +5,14 @@
 #include <cstdio>
 #include <sstream>
 
+#include "dtnsim/lint/internal.hpp"
+
 namespace dtnsim::lint {
-namespace {
+
+// The lexical helpers live in detail:: so the project-wide pass
+// (project.cpp) shares one scrubber/suppression/word-search implementation
+// with the per-file rules.
+namespace detail {
 
 std::vector<std::string> split_path(const std::string& path) {
   std::vector<std::string> parts;
@@ -103,21 +109,16 @@ std::vector<std::string> scrub(const std::vector<std::string>& raw) {
   return out;
 }
 
-// Which rules line N suppresses (via its own or the previous raw line).
-struct Suppressions {
-  std::vector<std::vector<std::string>> per_line;  // rule ids; "all" wildcard
-
-  bool allows(size_t line_idx, const std::string& rule) const {
-    auto hit = [&](size_t i) {
-      if (i >= per_line.size()) return false;
-      for (const auto& r : per_line[i]) {
-        if (r == "all" || r == rule) return true;
-      }
-      return false;
-    };
-    return hit(line_idx) || (line_idx > 0 && hit(line_idx - 1));
-  }
-};
+bool Suppressions::allows(std::size_t line_idx, const std::string& rule) const {
+  auto hit = [&](std::size_t i) {
+    if (i >= per_line.size()) return false;
+    for (const auto& r : per_line[i]) {
+      if (r == "all" || r == rule) return true;
+    }
+    return false;
+  };
+  return hit(line_idx) || (line_idx > 0 && hit(line_idx - 1));
+}
 
 Suppressions parse_suppressions(const std::vector<std::string>& raw) {
   Suppressions sup;
@@ -142,7 +143,7 @@ Suppressions parse_suppressions(const std::vector<std::string>& raw) {
 }
 
 // Find identifier `word` in `line` at word boundaries; returns npos or index.
-size_t find_word(const std::string& line, const std::string& word, size_t from = 0) {
+size_t find_word(const std::string& line, const std::string& word, size_t from) {
   size_t pos = from;
   while ((pos = line.find(word, pos)) != std::string::npos) {
     const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
@@ -153,6 +154,62 @@ size_t find_word(const std::string& line, const std::string& word, size_t from =
   }
   return std::string::npos;
 }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::vector<int> conditional_depth(const std::vector<std::string>& raw) {
+  std::vector<int> depth(raw.size(), 0);
+  int d = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const auto& line = raw[i];
+    const auto hash = line.find_first_not_of(" \t");
+    bool opens = false, closes = false;
+    if (hash != std::string::npos && line[hash] == '#') {
+      auto word = line.find_first_not_of(" \t", hash + 1);
+      if (word != std::string::npos) {
+        auto end = word;
+        while (end < line.size() && is_ident_char(line[end])) ++end;
+        const std::string directive = line.substr(word, end - word);
+        opens = directive == "if" || directive == "ifdef" || directive == "ifndef";
+        closes = directive == "endif";
+      }
+    }
+    if (opens) ++d;
+    if (closes) d = std::max(d - 1, 0);
+    // The `#if` line itself is conditional territory; the `#endif` line is
+    // still inside the region it closes.
+    depth[i] = closes ? d + 1 : d;
+    if (opens) depth[i] = d;
+  }
+  return depth;
+}
+
+}  // namespace detail
+
+// The rule implementations and renderers below predate the detail split;
+// keep their bodies reading as before.
+using namespace detail;
+
+namespace {
 
 // ---- rule: determinism -------------------------------------------------
 
@@ -314,27 +371,6 @@ void check_mutex_guard(const std::vector<std::string>& code, const Suppressions&
       }
     }
   }
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 }  // namespace

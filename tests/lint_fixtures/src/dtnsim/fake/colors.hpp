@@ -1,0 +1,14 @@
+// Fixture enum for the enum-switch rule: defined here, switched over in
+// enum_switch.cpp / enum_switch_guarded.cpp (cross-file on purpose).
+// Clean by itself.
+#pragma once
+
+namespace dtnsim::fake {
+
+enum class Color : int {
+  kRed = 0,
+  kGreen,
+  kBlue,  // deliberately unhandled in enum_switch.cpp
+};
+
+}  // namespace dtnsim::fake

@@ -1,0 +1,17 @@
+// Violation: enum-switch — this switch over fake::Color (colors.hpp)
+// handles kRed and kGreen but not kBlue, and has no default.
+#include "dtnsim/fake/colors.hpp"
+
+namespace dtnsim::fake {
+
+int brightness(Color c) {
+  switch (c) {
+    case Color::kRed:
+      return 30;
+    case Color::kGreen:
+      return 59;
+  }
+  return 0;
+}
+
+}  // namespace dtnsim::fake

@@ -1,0 +1,22 @@
+// NOT a violation: the same incomplete switch as enum_switch.cpp, but the
+// whole statement sits under an #ifdef — the project rules are
+// preprocessor-aware and must stay silent here (CI asserts no finding
+// mentions this file).
+#include "dtnsim/fake/colors.hpp"
+
+namespace dtnsim::fake {
+
+int guarded_brightness(Color c) {
+#ifdef DTNSIM_FIXTURE_EXOTIC_COLORS
+  switch (c) {
+    case Color::kRed:
+      return 30;
+    case Color::kGreen:
+      return 59;
+  }
+#endif
+  (void)c;
+  return 0;
+}
+
+}  // namespace dtnsim::fake

@@ -1,0 +1,31 @@
+// Violation: json-parity — to_json emits {"id", "size", "color"} but
+// widget_from_json only reads {"id", "size"}: the "color" key is written
+// on every save and silently dropped on every load.
+#include "dtnsim/util/json.hpp"
+
+namespace dtnsim::fake {
+
+struct Widget {
+  int id = 0;
+  int size = 0;
+  int color = 0;
+};
+
+Json to_json(const Widget& w) {
+  Json j = Json::object();
+  j["id"] = static_cast<double>(w.id);
+  j["size"] = static_cast<double>(w.size);
+  j["color"] = static_cast<double>(w.color);
+  return j;
+}
+
+bool widget_from_json(const Json& j, Widget* out) {
+  if (!j.is_object()) return false;
+  Widget w;
+  w.id = static_cast<int>(j.number_at("id", 0.0));
+  w.size = static_cast<int>(j.number_at("size", 0.0));
+  *out = w;
+  return true;
+}
+
+}  // namespace dtnsim::fake

@@ -1,0 +1,13 @@
+// Companion to the fixture transfer.cpp: the basename "packet_sim.cpp"
+// marks this as the packet engine. It mirrors fixture_alpha_bytes but
+// (deliberately) not fixture_beta_bps, so the drift is flagged at the
+// fluid registration site. Clean by itself.
+#include "dtnsim/obs/metrics.hpp"
+
+namespace dtnsim::fake {
+
+void register_packet_fixture_metrics(obs::Registry& reg) {
+  reg.counter("pkt.fixture_alpha_bytes", "bytes", "mirrored in both engines");
+}
+
+}  // namespace dtnsim::fake

@@ -1,0 +1,14 @@
+// Violation: metric-parity — the basename "transfer.cpp" marks this file
+// as the fluid engine. It registers flow.fixture_alpha_bytes (which
+// packet_sim.cpp mirrors as pkt.fixture_alpha_bytes — clean) and
+// flow.fixture_beta_bps (no packet counterpart, not allowlisted — flagged).
+#include "dtnsim/obs/metrics.hpp"
+
+namespace dtnsim::fake {
+
+void register_fluid_fixture_metrics(obs::Registry& reg) {
+  reg.counter("flow.fixture_alpha_bytes", "bytes", "mirrored in both engines");
+  reg.gauge("flow.fixture_beta_bps", "bps", "fluid-only: parity drift");
+}
+
+}  // namespace dtnsim::fake

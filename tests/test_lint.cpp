@@ -1,10 +1,15 @@
 // Unit tests: dtnsim-lint rules engine (classification, each rule,
-// suppressions, renderers).
+// suppressions, renderers) and the v2 project-wide pass (index
+// construction, cross-file rules, baseline, parallel determinism).
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 
 #include "dtnsim/lint/lint.hpp"
+#include "dtnsim/lint/project.hpp"
+#include "dtnsim/util/json.hpp"
 
 namespace dtnsim::lint {
 namespace {
@@ -191,6 +196,362 @@ TEST(LintOutput, JsonFormatAndEscaping) {
   EXPECT_NE(json.find("a\\\"b.cpp"), std::string::npos);
   EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
   EXPECT_EQ(to_json({}), "{\"count\":0,\"findings\":[]}");
+}
+
+// ---- v2: project index construction ---------------------------------------
+
+TEST(ProjectIndex, EnumDefinitionsStripValuesAndBase) {
+  const std::string code =
+      "enum class Color : int {\n"
+      "  kRed = 0,\n"
+      "  kGreen,\n"
+      "  kBlue,  // trailing comma above is fine\n"
+      "};\n"
+      "enum class Fwd;\n";  // forward declaration: no enumerators
+  const auto idx = index_file("src/dtnsim/fake/colors.hpp", code);
+  ASSERT_EQ(idx.enums.size(), 1u);
+  EXPECT_EQ(idx.enums[0].name, "Color");
+  EXPECT_EQ(idx.enums[0].enumerators,
+            (std::vector<std::string>{"kRed", "kGreen", "kBlue"}));
+}
+
+TEST(ProjectIndex, PlainEnumsIgnored) {
+  const auto idx =
+      index_file("src/dtnsim/fake/a.hpp", "enum Legacy { kOne, kTwo };\n");
+  EXPECT_TRUE(idx.enums.empty());
+}
+
+TEST(ProjectIndex, SwitchCasesAndDefault) {
+  const std::string code =
+      "int f(Color c) {\n"
+      "  switch (c) {\n"
+      "    case Color::kRed: return 1;\n"
+      "    case fake::Color::kGreen: return 2;\n"
+      "    default: return 0;\n"
+      "  }\n"
+      "}\n";
+  const auto idx = index_file("src/dtnsim/fake/a.cpp", code);
+  ASSERT_EQ(idx.switches.size(), 1u);
+  EXPECT_EQ(idx.switches[0].enum_name, "Color");
+  EXPECT_EQ(idx.switches[0].cases,
+            (std::set<std::string>{"kRed", "kGreen"}));
+  EXPECT_TRUE(idx.switches[0].has_default);
+  EXPECT_FALSE(idx.switches[0].conditional);
+}
+
+TEST(ProjectIndex, NestedSwitchesIndexedSeparately) {
+  const std::string code =
+      "void f(A a, B b) {\n"
+      "  switch (a) {\n"
+      "    case A::kOne:\n"
+      "      switch (b) {\n"
+      "        case B::kX: break;\n"
+      "        default: break;\n"
+      "      }\n"
+      "      break;\n"
+      "  }\n"
+      "}\n";
+  const auto idx = index_file("src/dtnsim/fake/a.cpp", code);
+  ASSERT_EQ(idx.switches.size(), 2u);
+  // Outer: only its own case, no default (the nested default is not its).
+  EXPECT_EQ(idx.switches[0].enum_name, "A");
+  EXPECT_EQ(idx.switches[0].cases, (std::set<std::string>{"kOne"}));
+  EXPECT_FALSE(idx.switches[0].has_default);
+  EXPECT_EQ(idx.switches[1].enum_name, "B");
+  EXPECT_TRUE(idx.switches[1].has_default);
+}
+
+TEST(ProjectIndex, ConditionalSwitchMarked) {
+  const std::string code =
+      "int f(Color c) {\n"
+      "#ifdef EXOTIC\n"
+      "  switch (c) {\n"
+      "    case Color::kRed: return 1;\n"
+      "  }\n"
+      "#endif\n"
+      "  return 0;\n"
+      "}\n";
+  const auto idx = index_file("src/dtnsim/fake/a.cpp", code);
+  ASSERT_EQ(idx.switches.size(), 1u);
+  EXPECT_TRUE(idx.switches[0].conditional);
+}
+
+TEST(ProjectIndex, MetricSitesEngineTaggingAndWrappedLiterals) {
+  const std::string fluid =
+      "void reg_metrics(obs::Registry& reg) {\n"
+      "  reg.counter(\"flow.x_bytes\", \"bytes\", \"h\");\n"
+      "  reg.gauge(\n"
+      "      \"flow.y_bps\", \"bps\", \"wrapped onto the next line\");\n"
+      "  reg.counter(std::string(\"limit.\") + name, \"ticks\", \"h\");\n"
+      "}\n";
+  const auto idx = index_file("src/dtnsim/flow/transfer.cpp", fluid);
+  ASSERT_EQ(idx.metrics.size(), 2u);  // the computed name is invisible
+  EXPECT_EQ(idx.metrics[0].name, "flow.x_bytes");
+  EXPECT_EQ(idx.metrics[0].engine, "fluid");
+  EXPECT_EQ(idx.metrics[1].name, "flow.y_bps");
+  EXPECT_TRUE(idx.metrics[1].library);
+  const auto pkt = index_file("src/dtnsim/flow/packet_sim.cpp",
+                              "void f(R& r) { r.counter(\"pkt.x\", \"b\", \"h\"); }\n");
+  ASSERT_EQ(pkt.metrics.size(), 1u);
+  EXPECT_EQ(pkt.metrics[0].engine, "packet");
+}
+
+TEST(ProjectIndex, JsonFnPartitioningAndKeys) {
+  const std::string code =
+      "Json to_json(const Widget& w) {\n"
+      "  Json j = Json::object();\n"
+      "  j[\"id\"] = 1.0;\n"
+      "  j[\"size\"] = 2.0;\n"
+      "  return j;\n"
+      "}\n"
+      "bool widget_from_json(const Json& j, Widget* out) {\n"
+      "  out->id = static_cast<int>(j.number_at(\"id\", 0.0));\n"
+      "  if (const Json* s = j.find(\"size\")) out->size = s->number_or(0);\n"
+      "  return true;\n"
+      "}\n"
+      "Json widget_to_json(const Widget& w);\n";  // declaration: ignored
+  const auto idx = index_file("src/dtnsim/fake/widget.cpp", code);
+  ASSERT_EQ(idx.json_fns.size(), 2u);
+  EXPECT_TRUE(idx.json_fns[0].emit);
+  EXPECT_EQ(idx.json_fns[0].struct_name, "Widget");
+  EXPECT_EQ(idx.json_fns[0].keys, (std::set<std::string>{"id", "size"}));
+  EXPECT_FALSE(idx.json_fns[1].emit);
+  EXPECT_EQ(idx.json_fns[1].struct_name, "Widget");
+  EXPECT_EQ(idx.json_fns[1].keys, (std::set<std::string>{"id", "size"}));
+}
+
+TEST(ProjectIndex, JsonFnNormalizesReturnTypes) {
+  const std::string code =
+      "std::optional<Timeline> timeline_from_json(const Json& j) {\n"
+      "  (void)j.find(\"events\");\n"
+      "  return std::nullopt;\n"
+      "}\n";
+  const auto idx = index_file("src/dtnsim/fake/a.cpp", code);
+  ASSERT_EQ(idx.json_fns.size(), 1u);
+  EXPECT_EQ(idx.json_fns[0].struct_name, "Timeline");
+}
+
+// ---- v2: cross-file rules ---------------------------------------------------
+
+std::vector<Finding> project_findings(
+    const std::vector<FileContent>& files, std::string doc_text = "") {
+  return run_project_rules(build_index(files, std::move(doc_text)));
+}
+
+TEST(ProjectRules, EnumSwitchFlagsMissingEnumerator) {
+  const std::vector<FileContent> files = {
+      {"src/dtnsim/fake/colors.hpp",
+       "enum class Color { kRed, kGreen, kBlue };\n"},
+      {"src/dtnsim/fake/use.cpp",
+       "int f(Color c) {\n"
+       "  switch (c) {\n"
+       "    case Color::kRed: return 1;\n"
+       "    case Color::kGreen: return 2;\n"
+       "  }\n"
+       "  return 0;\n"
+       "}\n"}};
+  const auto fs = project_findings(files);
+  ASSERT_EQ(count_rule(fs, "enum-switch"), 1);
+  EXPECT_NE(fs[0].message.find("kBlue"), std::string::npos);
+  EXPECT_EQ(fs[0].path, "src/dtnsim/fake/use.cpp");
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(ProjectRules, EnumSwitchDefaultOrGuardOrAllowExempts) {
+  const std::string enum_hpp = "enum class Color { kRed, kBlue };\n";
+  const std::string with_default =
+      "int f(Color c) { switch (c) { case Color::kRed: return 1; default: return 0; } }\n";
+  const std::string guarded =
+      "#ifdef EXOTIC\n"
+      "int f(Color c) { switch (c) { case Color::kRed: return 1; } return 0; }\n"
+      "#endif\n";
+  const std::string allowed =
+      "// dtnsim-lint: allow(enum-switch)\n"
+      "int f(Color c) { switch (c) { case Color::kRed: return 1; } return 0; }\n";
+  for (const auto& body : {with_default, guarded, allowed}) {
+    const auto fs = project_findings(
+        {{"src/dtnsim/fake/colors.hpp", enum_hpp},
+         {"src/dtnsim/fake/use.cpp", body}});
+    EXPECT_EQ(count_rule(fs, "enum-switch"), 0) << body;
+  }
+}
+
+TEST(ProjectRules, EnumSwitchAmbiguousEnumNameSkipped) {
+  // Two distinct enums named Kind: the rule cannot know which is meant.
+  const auto fs = project_findings(
+      {{"src/dtnsim/a/one.hpp", "enum class Kind { kA, kB };\n"},
+       {"src/dtnsim/b/two.hpp", "enum class Kind { kC };\n"},
+       {"src/dtnsim/fake/use.cpp",
+        "int f(Kind k) { switch (k) { case Kind::kA: return 1; } return 0; }\n"}});
+  EXPECT_EQ(count_rule(fs, "enum-switch"), 0);
+}
+
+TEST(ProjectRules, MetricParityFlagsSingleEngineFamily) {
+  const auto fs = project_findings(
+      {{"src/dtnsim/flow/transfer.cpp",
+        "void f(R& r) {\n"
+        "  r.counter(\"flow.alpha\", \"b\", \"h\");\n"
+        "  r.gauge(\"flow.beta_bps\", \"bps\", \"h\");\n"
+        "}\n"},
+       {"src/dtnsim/flow/packet_sim.cpp",
+        "void f(R& r) { r.counter(\"pkt.alpha\", \"b\", \"h\"); }\n"}});
+  ASSERT_EQ(count_rule(fs, "metric-parity"), 1);
+  EXPECT_NE(fs[0].message.find("flow.beta_bps"), std::string::npos);
+}
+
+TEST(ProjectRules, MetricParityAllowlistAndSuppression) {
+  // scenario.active_flows is a real, explained allowlist entry.
+  ASSERT_NE(metric_parity_allowance("scenario.active_flows"), nullptr);
+  const auto allow_listed = project_findings(
+      {{"src/dtnsim/flow/transfer.cpp",
+        "void f(R& r) { r.gauge(\"scenario.active_flows\", \"flows\", \"h\"); }\n"}});
+  EXPECT_EQ(count_rule(allow_listed, "metric-parity"), 0);
+  const auto suppressed = project_findings(
+      {{"src/dtnsim/flow/transfer.cpp",
+        "void f(R& r) {\n"
+        "  // dtnsim-lint: allow(metric-parity)\n"
+        "  r.gauge(\"flow.oddball_bps\", \"bps\", \"h\");\n"
+        "}\n"}});
+  EXPECT_EQ(count_rule(suppressed, "metric-parity"), 0);
+}
+
+TEST(ProjectRules, MetricParityDocCheck) {
+  const std::vector<FileContent> files = {
+      {"src/dtnsim/obs/metrics_reg.cpp",
+       "void f(R& r) { r.counter(\"tcp.fixture_counter\", \"b\", \"h\"); }\n"}};
+  // Not documented -> flagged; documented -> clean; no doc text -> disabled.
+  EXPECT_EQ(count_rule(project_findings(files, "# docs\n"), "metric-parity"), 1);
+  EXPECT_EQ(count_rule(project_findings(files, "`tcp.fixture_counter` ..."),
+                       "metric-parity"),
+            0);
+  EXPECT_EQ(count_rule(project_findings(files), "metric-parity"), 0);
+}
+
+TEST(ProjectRules, JsonParityFlagsKeyDrift) {
+  const auto fs = project_findings(
+      {{"src/dtnsim/fake/widget.cpp",
+        "Json to_json(const Widget& w) {\n"
+        "  Json j;\n"
+        "  j[\"id\"] = 1.0;\n"
+        "  j[\"color\"] = 2.0;\n"
+        "  return j;\n"
+        "}\n"
+        "bool widget_from_json(const Json& j, Widget* out) {\n"
+        "  out->id = static_cast<int>(j.number_at(\"id\", 0.0));\n"
+        "  return true;\n"
+        "}\n"}});
+  ASSERT_EQ(count_rule(fs, "json-parity"), 1);
+  EXPECT_NE(fs[0].message.find("color"), std::string::npos);
+}
+
+TEST(ProjectRules, JsonParityCleanPairAndUnpairedSilent) {
+  const auto fs = project_findings(
+      {{"src/dtnsim/fake/widget.cpp",
+        "Json to_json(const Widget& w) { Json j; j[\"id\"] = 1.0; return j; }\n"
+        "bool widget_from_json(const Json& j, Widget* out) {\n"
+        "  out->id = static_cast<int>(j.number_at(\"id\", 0.0));\n"
+        "  return true;\n"
+        "}\n"
+        "Json to_json(const Orphan& o) { Json j; j[\"x\"] = 1.0; return j; }\n"}});
+  EXPECT_EQ(count_rule(fs, "json-parity"), 0);
+}
+
+// ---- v2: baseline -----------------------------------------------------------
+
+TEST(ProjectBaseline, ParseApplyAndRoundTrip) {
+  const std::vector<Finding> fs = {
+      {"enum-switch", "src/a.cpp", 10, "missing: kBlue"},
+      {"json-parity", "src/b.cpp", 20, "drifted: color"}};
+  const auto text = to_baseline(fs);
+  const auto baseline = parse_baseline(text);
+  EXPECT_EQ(baseline.size(), 2u);
+  // Line numbers are not part of the key: a shifted finding stays masked.
+  std::vector<Finding> shifted = fs;
+  shifted[0].line = 99;
+  EXPECT_TRUE(apply_baseline(shifted, baseline).empty());
+  // A new message is not masked.
+  std::vector<Finding> fresh = {{"enum-switch", "src/a.cpp", 10, "missing: kRed"}};
+  EXPECT_EQ(apply_baseline(fresh, baseline).size(), 1u);
+}
+
+TEST(ProjectBaseline, CommentsAndBlanksIgnored) {
+  const auto baseline =
+      parse_baseline("# header\n\n  enum-switch|src/a.cpp|missing: kBlue  \n");
+  ASSERT_EQ(baseline.size(), 1u);
+  EXPECT_TRUE(baseline.count("enum-switch|src/a.cpp|missing: kBlue"));
+}
+
+// ---- v2: parallel driver ----------------------------------------------------
+
+TEST(ProjectDriver, JobsOutputIsByteIdenticalToSerial) {
+  std::vector<FileContent> files;
+  for (int i = 0; i < 24; ++i) {
+    const std::string path =
+        "src/dtnsim/fake/f" + std::to_string(i) + ".cpp";
+    files.push_back({path, "int r" + std::to_string(i) + " = rand();\n"});
+  }
+  files.push_back({"src/dtnsim/fake/colors.hpp",
+                   "enum class Color { kRed, kBlue };\n"});
+  files.push_back({"src/dtnsim/fake/use.cpp",
+                   "int f(Color c) { switch (c) { case Color::kRed: return 1; }"
+                   " return 0; }\n"});
+  ProjectOptions serial;
+  serial.jobs = 1;
+  ProjectOptions wide;
+  wide.jobs = 4;
+  const auto a = lint_project(files, serial);
+  const auto b = lint_project(files, wide);
+  EXPECT_EQ(to_json(a), to_json(b));
+  EXPECT_EQ(count_rule(a, "determinism"), 24);
+  EXPECT_EQ(count_rule(a, "enum-switch"), 1);
+  // Per-file findings come first, in input order; project findings last.
+  EXPECT_EQ(a.back().rule, "enum-switch");
+}
+
+TEST(ProjectDriver, BaselineThreadsThroughOptions) {
+  const std::vector<FileContent> files = {
+      {"src/dtnsim/fake/a.cpp", "int r = rand();\n"}};
+  ProjectOptions opts;
+  const auto unmasked = lint_project(files, opts);
+  ASSERT_EQ(unmasked.size(), 1u);
+  opts.baseline.insert(baseline_key(unmasked[0]));
+  EXPECT_TRUE(lint_project(files, opts).empty());
+}
+
+// ---- v2: --json schema golden ----------------------------------------------
+
+void collect_key_paths(const Json& j, const std::string& prefix,
+                       std::set<std::string>& out) {
+  if (j.is_object()) {
+    for (const auto& k : j.keys()) {
+      const std::string path = prefix.empty() ? k : prefix + "." + k;
+      out.insert(path);
+      collect_key_paths(*j.find(k), path, out);
+    }
+  } else if (j.is_array()) {
+    for (std::size_t i = 0; i < j.size(); ++i)
+      collect_key_paths(*j.at(i), prefix, out);
+  }
+}
+
+TEST(LintOutput, JsonSchemaMatchesGolden) {
+  const auto fs =
+      lint_file("src/dtnsim/fake/a.cpp", "int r = rand();\n");
+  ASSERT_FALSE(fs.empty());
+  const auto doc = Json::parse(to_json(fs));
+  ASSERT_TRUE(doc);
+  std::set<std::string> paths;
+  collect_key_paths(*doc, "", paths);
+  std::string got;
+  for (const auto& p : paths) got += p + "\n";
+  const std::string golden_path =
+      std::string(DTNSIM_SOURCE_DIR) + "/tests/golden/lint_json_keys.txt";
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in) << golden_path;
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "lint --json schema drifted; update tests/golden/lint_json_keys.txt";
 }
 
 }  // namespace

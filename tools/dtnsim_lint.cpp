@@ -1,6 +1,8 @@
 // dtnsim-lint CLI: walk the given files/directories, lint every .cpp/.hpp,
 // and report findings. Exit 0 when clean, 1 when findings exist, 2 on usage
-// or I/O errors. See src/dtnsim/lint/lint.hpp for the rule set.
+// or I/O errors. See src/dtnsim/lint/lint.hpp for the per-file rule set and
+// src/dtnsim/lint/project.hpp for the project-wide (cross-file) rules.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "dtnsim/lint/lint.hpp"
+#include "dtnsim/lint/project.hpp"
 
 namespace fs = std::filesystem;
 
@@ -58,12 +61,33 @@ bool collect(const fs::path& root, std::vector<fs::path>& files) {
   return true;
 }
 
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: dtnsim-lint [--json] <file-or-dir>...\n"
-               "Lints dtnsim sources for determinism, raw-unit-double,\n"
-               "include-hygiene, and mutex-guard violations.\n"
-               "Suppress with: // dtnsim-lint: allow(<rule>)\n");
+  std::fprintf(
+      stderr,
+      "usage: dtnsim-lint [options] <file-or-dir>...\n"
+      "  --json                machine-readable output\n"
+      "  --project             also run the cross-file rules (enum-switch,\n"
+      "                        metric-parity, json-parity) over all inputs\n"
+      "  --jobs N              lint/index files on N worker threads\n"
+      "                        (0 = hardware concurrency; output is\n"
+      "                        byte-identical to --jobs 1)\n"
+      "  --baseline FILE       mask findings listed in FILE\n"
+      "  --write-baseline FILE write current findings as a baseline and exit 0\n"
+      "  --docs FILE           metrics doc for the metric-parity doc check\n"
+      "                        (default: docs/OBSERVABILITY.md if present)\n"
+      "  --no-docs             disable the metric-parity doc check\n"
+      "  --explain-allowlist   print the metric-parity allowlist and exit\n"
+      "Per-file rules: determinism, raw-unit-double, include-hygiene,\n"
+      "mutex-guard. Suppress any rule with: // dtnsim-lint: allow(<rule>)\n");
   return 2;
 }
 
@@ -71,34 +95,102 @@ int usage() {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool project = false;
+  bool no_docs = false;
+  int jobs = 1;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string docs_path;
   std::vector<fs::path> roots;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
       json = true;
-    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+    } else if (arg == "--project") {
+      project = true;
+    } else if (arg == "--no-docs") {
+      no_docs = true;
+    } else if (arg == "--explain-allowlist") {
+      std::printf("%s", dtnsim::lint::format_metric_allowlist().c_str());
+      return 0;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      write_baseline_path = argv[++i];
+    } else if (arg == "--docs" && i + 1 < argc) {
+      docs_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "dtnsim-lint: unknown option %s\n", arg.c_str());
       return usage();
     } else {
-      roots.emplace_back(argv[i]);
+      roots.emplace_back(arg);
     }
   }
   if (roots.empty()) return usage();
 
-  std::vector<fs::path> files;
+  std::vector<fs::path> paths;
   for (const auto& r : roots) {
-    if (!collect(r, files)) return 2;
+    if (!collect(r, paths)) return 2;
   }
+  // Canonical order: directory iteration order is filesystem-dependent, and
+  // the baseline/golden story needs a stable finding order.
+  std::sort(paths.begin(), paths.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.generic_string() < b.generic_string();
+            });
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
-  std::vector<dtnsim::lint::Finding> findings;
-  for (const auto& f : files) {
-    std::ifstream in(f, std::ios::binary);
-    if (!in) {
-      std::fprintf(stderr, "dtnsim-lint: cannot read %s\n", f.string().c_str());
+  std::vector<dtnsim::lint::FileContent> files;
+  files.reserve(paths.size());
+  for (const auto& p : paths) {
+    std::string content;
+    if (!read_file(p, content)) {
+      std::fprintf(stderr, "dtnsim-lint: cannot read %s\n", p.string().c_str());
       return 2;
     }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    auto file_findings = dtnsim::lint::lint_file(f.generic_string(), ss.str());
-    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+    files.push_back({p.generic_string(), std::move(content)});
+  }
+
+  dtnsim::lint::ProjectOptions opts;
+  opts.jobs = jobs;
+  opts.project_rules = project;
+  if (project && !no_docs) {
+    if (docs_path.empty() && fs::exists("docs/OBSERVABILITY.md"))
+      docs_path = "docs/OBSERVABILITY.md";
+    if (!docs_path.empty() && !read_file(docs_path, opts.doc_text)) {
+      std::fprintf(stderr, "dtnsim-lint: cannot read docs file %s\n",
+                   docs_path.c_str());
+      return 2;
+    }
+  }
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, text)) {
+      std::fprintf(stderr, "dtnsim-lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    opts.baseline = dtnsim::lint::parse_baseline(text);
+  }
+
+  const auto findings = dtnsim::lint::lint_project(files, opts);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "dtnsim-lint: cannot write baseline %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    out << dtnsim::lint::to_baseline(findings);
+    std::printf("dtnsim-lint: wrote %zu baseline entr%s to %s\n",
+                findings.size(), findings.size() == 1 ? "y" : "ies",
+                write_baseline_path.c_str());
+    return 0;
   }
 
   if (json) {
