@@ -20,12 +20,12 @@
 // Bands are calibrated against the current engines (values in-line below);
 // exits non-zero naming metric and band on any violation, same contract as
 // packet_divergence.
-#include <algorithm>
 #include <cstdio>
 #include <string>
-#include <vector>
+#include <utility>
 
 #include "bench_common.hpp"
+#include "dtnsim/report/analysis.hpp"
 
 using namespace dtnsim;
 using namespace dtnsim::bench;
@@ -45,32 +45,19 @@ struct Recovery {
   }
 };
 
+// The dip/recovery math lives in report::analyze_recovery (dtnsim::report
+// extracted it from this bench); this wrapper only adds the whole-run
+// retransmit total and the bench's -1-means-never convention.
 Recovery analyze(const harness::TestResult& r, double start, double stop) {
   Recovery out;
   out.retransmits = r.avg_retransmits;
   if (r.repeat_series.empty()) return out;
-  const auto& series = r.repeat_series.front();
-  const auto t = series.column("time_s");
-  const auto bps = series.column("flow.goodput_bps");
-  double base_sum = 0.0;
-  int base_n = 0;
-  double dip = -1.0;
-  for (std::size_t i = 0; i < t.size() && i < bps.size(); ++i) {
-    if (t[i] >= start - 10.0 && t[i] < start) {
-      base_sum += bps[i];
-      ++base_n;
-    } else if (t[i] >= start && t[i] <= stop) {
-      if (dip < 0.0 || bps[i] < dip) dip = bps[i];
-    }
-  }
-  out.baseline_gbps = base_n > 0 ? base_sum / base_n / 1e9 : 0.0;
-  out.dip_gbps = std::max(dip, 0.0) / 1e9;
-  for (std::size_t i = 0; i < t.size() && i < bps.size(); ++i) {
-    if (t[i] > stop && bps[i] >= 0.9 * out.baseline_gbps * 1e9) {
-      out.recovery_sec = t[i] - stop;
-      break;
-    }
-  }
+  const report::RecoveryStats stats = report::analyze_recovery(
+      r.repeat_series.front(), "flow.goodput_bps",
+      units::SimTime::from_seconds(start), units::SimTime::from_seconds(stop));
+  out.baseline_gbps = stats.baseline.gbps();
+  out.dip_gbps = stats.dip.gbps();
+  out.recovery_sec = stats.recovered ? stats.recovery.seconds() : -1.0;
   return out;
 }
 

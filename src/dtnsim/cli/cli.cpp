@@ -58,7 +58,8 @@ bool needs_value(const std::string& flag) {
          flag == "--seed" || flag == "--jobs" || flag == "--probe-interval" ||
          flag == "--metrics-out" || flag == "--trace-out" || flag == "--trace-stream" ||
          flag == "--ss-watch" || flag == "--ss-out" || flag == "--perf-watch" ||
-         flag == "--perf-out" || flag == "--scenario" || flag == "--scenario-out";
+         flag == "--perf-out" || flag == "--scenario" || flag == "--scenario-out" ||
+         flag == "--record-out" || flag == "--record-timeline";
 }
 
 }  // namespace
@@ -214,6 +215,10 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       o.scenario_file = value;
     } else if (flag == "--scenario-out") {
       o.scenario_out = value;
+    } else if (flag == "--record-out") {
+      o.record_out = value;
+    } else if (flag == "--record-timeline") {
+      o.record_timeline = value;
     } else {
       o.error = "unknown flag: " + flag;
       return o;
@@ -260,7 +265,15 @@ std::string cli_help() {
       "scenario flags (docs/SCENARIO.md):\n"
       "      --scenario F       mid-run fault/condition timeline (JSON); events\n"
       "                         fire at their scheduled times in every repeat\n"
-      "      --scenario-out F   write repeat 0's applied-event log as JSON\n";
+      "      --scenario-out F   write repeat 0's applied-event log as JSON\n"
+      "      --record-timeline F  write the events repeat 0 crossed back out\n"
+      "                         as a loadable --scenario timeline (jitter\n"
+      "                         already drawn; requires --scenario)\n"
+      "report flags (docs/REPORT.md):\n"
+      "      --record-out F     bundle the whole run into one RunRecord JSON\n"
+      "                         artifact (summary + series + ss/perf logs +\n"
+      "                         scenario events + analysis; dtnsim-report\n"
+      "                         reads it). Implies telemetry + ss + perf\n";
 }
 
 harness::TestSpec spec_from_cli(const CliOptions& opts) {
@@ -305,6 +318,7 @@ harness::TestSpec spec_from_cli(const CliOptions& opts) {
     // Throws std::runtime_error on a missing file or invalid timeline.
     spec.scenario = scenario::load_timeline(opts.scenario_file);
   }
+  spec.record = !opts.record_out.empty();
   return spec;
 }
 
@@ -323,6 +337,10 @@ int run_cli(const CliOptions& opts, std::string& output) {
     spec = spec_from_cli(opts);
   } catch (const std::exception& e) {  // unknown testbed or path name
     output = strfmt("error: %s\n", e.what());
+    return 2;
+  }
+  if (!opts.record_timeline.empty() && opts.scenario_file.empty()) {
+    output = "error: --record-timeline requires --scenario (nothing to record)\n";
     return 2;
   }
 
@@ -376,6 +394,27 @@ int run_cli(const CliOptions& opts, std::string& output) {
     telemetry_note += strfmt("  scenario   : %s (%zu event%s)\n",
                              opts.scenario_out.c_str(), result.scenario_log.events.size(),
                              result.scenario_log.events.size() == 1 ? "" : "s");
+  }
+  if (!opts.record_timeline.empty()) {
+    const scenario::Timeline recorded =
+        scenario::timeline_from_log(result.scenario_log);
+    if (!scenario::write_timeline(opts.record_timeline, recorded)) {
+      output = strfmt("error: cannot write timeline to %s\n",
+                      opts.record_timeline.c_str());
+      return 1;
+    }
+    telemetry_note += strfmt("  timeline   : %s (%zu event%s)\n",
+                             opts.record_timeline.c_str(), recorded.events.size(),
+                             recorded.events.size() == 1 ? "" : "s");
+  }
+  if (!opts.record_out.empty()) {
+    if (!result.record ||
+        !report::write_run_record(opts.record_out, *result.record)) {
+      output = strfmt("error: cannot write run record to %s\n",
+                      opts.record_out.c_str());
+      return 1;
+    }
+    telemetry_note += strfmt("  record     : %s\n", opts.record_out.c_str());
   }
 
   if (opts.iperf.json) {

@@ -32,6 +32,9 @@
 // Scenario (see docs/SCENARIO.md):
 //   --scenario PATH         mid-run fault/condition timeline (JSON)
 //   --scenario-out PATH     event log of repeat 0 -> JSON
+//   --record-timeline PATH  crossed events -> loadable timeline JSON
+// Report (see docs/REPORT.md):
+//   --record-out PATH       whole run -> one RunRecord JSON artifact
 // Long flags also accept --flag=value.
 #pragma once
 
@@ -90,6 +93,14 @@ struct CliOptions {
   // load and the destination for repeat 0's event log.
   std::string scenario_file;
   std::string scenario_out;
+  // Unified run record (docs/REPORT.md): bundle summary + series + ss/perf
+  // logs + scenario events + derived analysis into one JSON artifact.
+  // Implies telemetry + ss + perf.
+  std::string record_out;
+  // Re-emit the events repeat 0 crossed as a validate()-clean timeline that
+  // --scenario can load back (the inverse of running one). Requires
+  // --scenario.
+  std::string record_timeline;
 };
 
 CliOptions parse_cli(const std::vector<std::string>& args);

@@ -148,12 +148,18 @@ Experiment& Experiment::scenario(dtnsim::scenario::Timeline timeline) {
   return *this;
 }
 
+Experiment& Experiment::record(bool on) {
+  record_ = on;
+  return *this;
+}
+
 harness::TestSpec Experiment::spec() const {
   harness::TestSpec s = harness::TestSpec::on(testbed_, path_name_, iperf_, label_);
   s.repeats = repeats_;
   s.base_seed = seed_;
   s.telemetry = telemetry_;
   s.scenario = scenario_;
+  s.record = record_;
   return s;
 }
 

@@ -52,6 +52,9 @@ class Experiment {
   // NIC/qdisc/sysctl retunes and flow churn fire at scenario::Timeline
   // times while the transfer runs (see docs/SCENARIO.md).
   Experiment& scenario(scenario::Timeline timeline);
+  // Bundle the run into a report::RunRecord on the TestResult (`--record-out`,
+  // docs/REPORT.md). Implies telemetry + ss + perf.
+  Experiment& record(bool on = true);
 
   // The spec this builder will run (inspectable before running).
   harness::TestSpec spec() const;
@@ -66,6 +69,7 @@ class Experiment {
   std::string label_;
   obs::TelemetryConfig telemetry_;
   dtnsim::scenario::Timeline scenario_;
+  bool record_ = false;
 };
 
 }  // namespace dtnsim

@@ -83,21 +83,31 @@ struct SimState {
   // Exact per-stage cycle attribution (dtnsim-perf), allocated only when the
   // attached Telemetry wants perf — same zero-cost-when-disabled guarantee
   // as the fluid engine's Instruments::PerfAccum. The packet engine runs one
-  // app core per side and folds IRQ work into the NAPI/service times, so the
-  // snd_irq/rcv_irq groups stay zero here.
+  // app core per side and folds IRQ work into the NAPI/service times; the
+  // snd_irq/rcv_irq *cycles* are still attributed (from the cost model's
+  // IRQ stage prices) so flamegraphs show where that folded work goes, but
+  // no IRQ capacity is metered — utilization stays 0 for those groups.
   struct PerfAccum {
     std::array<double, obs::kPerfStageCount> stage{};
     std::array<double, obs::kPerfCoreCount> consumed{};
     double bytes_sent = 0.0;
     // TX stage prices per payload byte (fixed geometry for the whole run);
-    // tx_prep_ns is the ns projection of total() * gso_bytes.
+    // tx_prep_ns is the ns projection of tx_pb.total() * gso_bytes.
     cpu::TxAppStageCyc tx_pb;
-    // RX stage cycles per wire segment. Under rx_segment_ns_override these
-    // are rescaled so their sum equals the override the engine actually
-    // charges, keeping the stage-sum == consumed identity honest.
+    cpu::TxIrqStageCyc tx_irq_pb;
+    // RX app stage cycles per wire segment. Under rx_segment_ns_override
+    // these are rescaled so their sum equals the override the engine
+    // actually charges, keeping the stage-sum == consumed identity honest.
     double rx_seg_syscall = 0.0;
     double rx_seg_frag_walk = 0.0;
     double rx_seg_copyout = 0.0;
+    // RX IRQ stage cycles per wire segment, at the cost model's natural
+    // prices (the override pins only the app-core drain time, so the IRQ
+    // attribution is not rescaled with it).
+    double rx_irq_seg_skb_alloc = 0.0;
+    double rx_irq_seg_gro_merge = 0.0;
+    double rx_irq_seg_agg_flush = 0.0;
+    double rx_irq_seg_csum = 0.0;
     // App-core clock rates, for capacity at sample time.
     double snd_hz = 0.0;
     double rcv_hz = 0.0;
@@ -187,7 +197,9 @@ void napi_poll(SimState& s) {
   if (s.perf) {
     // Attribute the batch's service cycles (whose ns projection is `spent`)
     // to the recvmsg-path stages. This engine drains in the app context, so
-    // the whole charge lands on rcv_app.
+    // that charge lands on rcv_app; the NAPI-side work the drain folds in
+    // (skb alloc, GRO merge, flush, checksum) is attributed to rcv_irq at
+    // the cost model's prices — attribution only, no extra simulated time.
     auto& pa = *s.perf;
     const double n = static_cast<double>(take);
     pa.stage[static_cast<int>(obs::PerfStage::RxSyscall)] += n * pa.rx_seg_syscall;
@@ -195,6 +207,13 @@ void napi_poll(SimState& s) {
     pa.stage[static_cast<int>(obs::PerfStage::RxCopyout)] += n * pa.rx_seg_copyout;
     pa.consumed[static_cast<int>(obs::PerfCore::RcvApp)] +=
         n * (pa.rx_seg_syscall + pa.rx_seg_frag_walk + pa.rx_seg_copyout);
+    pa.stage[static_cast<int>(obs::PerfStage::RxSkbAlloc)] += n * pa.rx_irq_seg_skb_alloc;
+    pa.stage[static_cast<int>(obs::PerfStage::RxGroMerge)] += n * pa.rx_irq_seg_gro_merge;
+    pa.stage[static_cast<int>(obs::PerfStage::RxAggFlush)] += n * pa.rx_irq_seg_agg_flush;
+    pa.stage[static_cast<int>(obs::PerfStage::RxCsum)] += n * pa.rx_irq_seg_csum;
+    pa.consumed[static_cast<int>(obs::PerfCore::RcvIrq)] +=
+        n * (pa.rx_irq_seg_skb_alloc + pa.rx_irq_seg_gro_merge +
+             pa.rx_irq_seg_agg_flush + pa.rx_irq_seg_csum);
   }
   s.engine.schedule(spent, [&s, take] {
     for (int i = 0; i < take; ++i) {
@@ -305,6 +324,13 @@ void try_send(SimState& s) {
       pa.stage[static_cast<int>(obs::PerfStage::TxZcNotify)] += b * pa.tx_pb.zc_notify;
       pa.stage[static_cast<int>(obs::PerfStage::TxZcFallback)] += b * pa.tx_pb.zc_fallback;
       pa.consumed[static_cast<int>(obs::PerfCore::SndApp)] += b * pa.tx_pb.total();
+      // Segmentation/DMA/completion work rides inside tx_prep in this
+      // engine; attribute it to snd_irq so the profile shows it (no extra
+      // simulated time is charged).
+      pa.stage[static_cast<int>(obs::PerfStage::TxGsoSegment)] += b * pa.tx_irq_pb.gso_segment;
+      pa.stage[static_cast<int>(obs::PerfStage::TxDmaMap)] += b * pa.tx_irq_pb.dma_map;
+      pa.stage[static_cast<int>(obs::PerfStage::TxCompletion)] += b * pa.tx_irq_pb.completion;
+      pa.consumed[static_cast<int>(obs::PerfCore::SndIrq)] += b * pa.tx_irq_pb.total();
       pa.bytes_sent += b;
     }
     const int segments = static_cast<int>(std::ceil(s.gso_bytes / s.mss));
@@ -525,6 +551,7 @@ PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
       // TX stage prices come from the same TxPathConfig that priced
       // tx_prep_ns, so stage sums track the engine's scalar charge exactly.
       pa.tx_pb = snd_cost.tx_app_stage_cyc(txc);
+      pa.tx_irq_pb = snd_cost.tx_irq_stage_cyc(txc);
       // RX: per-wire-segment stage cycles. When rx_segment_ns_override pins
       // the service time, rescale the stage shares so their sum equals the
       // cycles the override actually spends per segment.
@@ -539,11 +566,19 @@ PacketSimResult run_packet_sim(const PacketSimConfig& cfg) {
       pa.rx_seg_syscall = rx_pb.syscall * s.mss * scale;
       pa.rx_seg_frag_walk = rx_pb.frag_walk * s.mss * scale;
       pa.rx_seg_copyout = rx_pb.copyout * s.mss * scale;
+      // RX IRQ attribution at natural prices: the override rescale above
+      // keeps the app-core identity with the pinned drain time, while the
+      // IRQ-side work the drain folds in keeps its own cost-model split.
+      const auto rx_irq_pb = rcv_cost.rx_irq_stage_cyc(rxc);
+      pa.rx_irq_seg_skb_alloc = rx_irq_pb.skb_alloc * s.mss;
+      pa.rx_irq_seg_gro_merge = rx_irq_pb.gro_merge * s.mss;
+      pa.rx_irq_seg_agg_flush = rx_irq_pb.agg_flush * s.mss;
+      pa.rx_irq_seg_csum = rx_irq_pb.csum * s.mss;
       pa.snd_hz = sender.app_core_hz();
       pa.rcv_hz = receiver.app_core_hz();
       // Everything below only *reads* SimState. The packet engine runs one
-      // app core per side and prices no IRQ context, so the snd_irq/rcv_irq
-      // groups report zero consumed against zero capacity.
+      // app core per side and meters no IRQ capacity; snd_irq/rcv_irq carry
+      // attributed cycles against zero capacity (utilization reads 0).
       s.tel->perf().set_source([&s](Nanos now) {
         obs::PerfReport r;
         r.ts = now;

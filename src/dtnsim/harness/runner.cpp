@@ -27,6 +27,15 @@ TestResult run_test(const TestSpec& spec) {
   RunningStats tput, retr, snd_cpu, rcv_cpu, flow_min, flow_max, fallback;
   Rng seeder(spec.base_seed);
 
+  // A RunRecord bundles every artifact layer, so recording forces the
+  // telemetry stack on (probe series + ss snapshots + perf attribution).
+  obs::TelemetryConfig tel_cfg = spec.telemetry;
+  if (spec.record) {
+    tel_cfg.enabled = true;
+    tel_cfg.ss_enabled = true;
+    tel_cfg.perf_enabled = true;
+  }
+
   flow::TransferConfig cfg;
   cfg.sender = spec.sender;
   cfg.receiver = spec.receiver;
@@ -43,8 +52,8 @@ TestResult run_test(const TestSpec& spec) {
   for (int r = 0; r < out.repeats; ++r) {
     cfg.seed = seeder.substream(static_cast<unsigned>(r)).next();
     std::shared_ptr<obs::Telemetry> tel;
-    if (spec.telemetry.enabled) {
-      obs::TelemetryConfig tcfg = spec.telemetry;
+    if (tel_cfg.enabled) {
+      obs::TelemetryConfig tcfg = tel_cfg;
       // Stream only the first repeat: every repeat would otherwise open
       // (and truncate) the same file.
       if (r != 0) tcfg.trace_stream_path.clear();
@@ -94,6 +103,35 @@ TestResult run_test(const TestSpec& spec) {
   out.snd_cpu_pct = snd_cpu.mean();
   out.rcv_cpu_pct = rcv_cpu.mean();
   out.zc_fallback_ratio = fallback.mean();
+
+  if (spec.record) {
+    auto rec = std::make_shared<report::RunRecord>();
+    rec->meta.name = spec.name;
+    rec->meta.engine =
+        out.perf_log.empty() ? "fluid" : out.perf_log.back().engine;
+    rec->meta.streams = cfg.streams;
+    rec->meta.repeats = out.repeats;
+    rec->meta.duration_sec = spec.iperf.duration_sec;
+    rec->meta.base_seed = spec.base_seed;
+    rec->meta.scenario = spec.scenario.empty() ? "" : spec.scenario.name;
+    rec->summary.avg_gbps = out.avg_gbps;
+    rec->summary.min_gbps = out.min_gbps;
+    rec->summary.max_gbps = out.max_gbps;
+    rec->summary.stdev_gbps = out.stdev_gbps;
+    rec->summary.avg_retransmits = out.avg_retransmits;
+    rec->summary.flow_min_gbps = out.flow_min_gbps;
+    rec->summary.flow_max_gbps = out.flow_max_gbps;
+    rec->summary.snd_cpu_pct = out.snd_cpu_pct;
+    rec->summary.rcv_cpu_pct = out.rcv_cpu_pct;
+    rec->summary.zc_fallback_ratio = out.zc_fallback_ratio;
+    rec->summary.samples_gbps = out.samples_gbps;
+    if (!out.repeat_series.empty()) rec->series = out.repeat_series.front();
+    rec->ss_log = out.ss_log;
+    rec->perf_log = out.perf_log;
+    rec->scenario_log = out.scenario_log;
+    rec->analysis = report::analyze_record(*rec);
+    out.record = std::move(rec);
+  }
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include "dtnsim/app/iperf.hpp"
 #include "dtnsim/harness/testbeds.hpp"
 #include "dtnsim/obs/telemetry.hpp"
+#include "dtnsim/report/record.hpp"
 #include "dtnsim/scenario/scenario.hpp"
 
 namespace dtnsim::harness {
@@ -34,6 +35,10 @@ struct TestSpec {
   // Mid-run fault/condition timeline, applied to every repeat (each repeat
   // jitters event times from its own seed substream). Empty = no scenario.
   dtnsim::scenario::Timeline scenario;
+  // Bundle the run into a report::RunRecord on the TestResult (--record-out).
+  // Implies telemetry + ss + perf so the record carries every artifact
+  // layer; record-off runs stay bit-identical to builds without this field.
+  bool record = false;
 
   // Convenience: build a spec from a testbed + path name.
   static TestSpec on(const Testbed& tb, const std::string& path_name,
@@ -74,6 +79,10 @@ struct TestResult {
   // Populated only when spec.scenario is non-empty: repeat 0's event log
   // (what fired, when, and whether the engine applied it).
   dtnsim::scenario::EventLog scenario_log;
+  // Populated only when spec.record: the whole run as one self-describing
+  // artifact (summary + series + ss/perf logs + scenario events + derived
+  // analysis). shared_ptr so copying a TestResult stays cheap.
+  std::shared_ptr<const report::RunRecord> record;
 };
 
 TestResult run_test(const TestSpec& spec);

@@ -575,13 +575,30 @@ void rule_enum_switch(const ProjectIndex& index, std::vector<Finding>& out) {
   for (const auto& f : index.files) {
     if (!is_library(f.kind) && f.kind != FileKind::Tool) continue;
     for (const auto& sw : f.switches) {
-      if (sw.enum_name.empty() || sw.has_default || sw.conditional ||
-          sw.suppressed)
-        continue;
+      if (sw.enum_name.empty() || sw.conditional || sw.suppressed) continue;
       const auto it = enums.find(sw.enum_name);
       if (it == enums.end() || it->second.size() != 1) continue;  // unknown or
                                                                   // ambiguous
       const EnumDef& def = *it->second.front();
+      // Stale labels first: a `case` naming an enumerator the definition no
+      // longer carries is dead code even under a default — it can never fire
+      // and usually marks a rename that missed this switch.
+      std::string stale;
+      for (const auto& c : sw.cases) {
+        if (std::find(def.enumerators.begin(), def.enumerators.end(), c) !=
+            def.enumerators.end())
+          continue;
+        if (!stale.empty()) stale += ", ";
+        stale += c;
+      }
+      if (!stale.empty()) {
+        out.push_back({"enum-switch", sw.path, sw.line,
+                       "switch over 'enum class " + sw.enum_name + "' (" +
+                           def.path +
+                           ") names enumerator(s) that no longer exist: " +
+                           stale});
+      }
+      if (sw.has_default) continue;  // default covers missing enumerators
       std::string missing;
       int n = 0;
       for (const auto& e : def.enumerators) {
@@ -594,7 +611,8 @@ void rule_enum_switch(const ProjectIndex& index, std::vector<Finding>& out) {
       out.push_back(
           {"enum-switch", sw.path, sw.line,
            "switch over 'enum class " + sw.enum_name + "' (" + def.path +
-               ") handles " + std::to_string(sw.cases.size()) + "/" +
+               ") handles " +
+               std::to_string(def.enumerators.size() - std::size_t(n)) + "/" +
                std::to_string(def.enumerators.size()) +
                " enumerators and has no default; missing: " + missing});
     }

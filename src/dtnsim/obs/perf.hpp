@@ -103,7 +103,8 @@ struct PerfReport {
   double core_stage_cycles(PerfCore c) const;
   double total_cycles() const;
   // consumed/capacity for the group, clamped to [0, 1]; 0 when no capacity
-  // was metered (the packet engine models no IRQ cores).
+  // was metered (the packet engine attributes IRQ cycles but meters no IRQ
+  // capacity — its IRQ work rides inside the app-core service times).
   double core_utilization(PerfCore c) const;
   // Headline efficiency figures (perf.* mirror gauges).
   double tx_cyc_per_byte() const;  // snd-side stages / bytes_sent

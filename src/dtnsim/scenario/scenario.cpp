@@ -239,6 +239,22 @@ bool write_event_log(const std::string& path, const EventLog& log) {
   return static_cast<bool>(out);
 }
 
+Timeline timeline_from_log(const EventLog& log) {
+  Timeline tl;
+  tl.name = log.timeline;
+  for (const AppliedEvent& ev : log.events) {
+    Event e;
+    e.at_sec = ev.fire_sec;
+    e.kind = ev.kind;
+    e.value = ev.value;
+    e.duration_sec = ev.end_sec > 0.0 ? ev.end_sec - ev.fire_sec : 0.0;
+    e.jitter_sec = 0.0;  // the recorded fire time already includes the draw
+    e.note = ev.note;
+    tl.events.push_back(std::move(e));
+  }
+  return tl;
+}
+
 namespace {
 
 // Jittered fire times for a timeline under a given seed. The jitter stream

@@ -149,6 +149,13 @@ std::optional<EventLog> event_log_from_json(const Json& json);
 // dtnsim-scenario --run both write this format, --replay reads it back).
 bool write_event_log(const std::string& path, const EventLog& log);
 
+// Inverse of running a timeline: reconstruct a loadable Timeline from the
+// events a run actually crossed (`--record-timeline`). Fire times become
+// nominal times (jitter_sec = 0 — the jitter was already drawn), durations
+// are recovered from end_sec, and unsupported (applied=false) events are
+// kept so the recording round-trips. The result is validate()-clean.
+Timeline timeline_from_log(const EventLog& log);
+
 // Live applicator. Construct once per run with the run seed; call
 // advance(now) from the engine's clock loop — it returns true when the
 // folded Effects changed (an event fired or expired), which is the engine's

@@ -11,6 +11,8 @@
 #include <stdexcept>
 
 #include "dtnsim/cli/cli.hpp"
+#include "dtnsim/report/analysis.hpp"
+#include "dtnsim/report/record.hpp"
 #include "dtnsim/sweep/cache.hpp"
 #include "dtnsim/sweep/pool.hpp"
 #include "dtnsim/util/strfmt.hpp"
@@ -53,6 +55,26 @@ Json row_json(const CellOutcome& out, const std::string& spec_name) {
   Json samples = Json::array();
   for (const double s : r.samples_gbps) samples.push_back(s);
   j["samples_gbps"] = std::move(samples);
+  // Telemetry extras, presence-driven: --report grows the matching columns
+  // only when some row carries them. Cached rows never have them (cells
+  // with telemetry enabled bypass the result cache).
+  if (!r.perf_log.empty()) {
+    j["tx_cyc_per_byte"] = r.perf_log.back().tx_cyc_per_byte();
+    j["rx_cyc_per_byte"] = r.perf_log.back().rx_cyc_per_byte();
+  }
+  if (!r.repeat_series.empty()) {
+    const obs::SeriesTable& series = r.repeat_series.front();
+    const std::string col = report::goodput_column(series);
+    const auto window = report::episode_window(r.scenario_log);
+    if (!col.empty() && window) {
+      const report::RecoveryStats rec =
+          report::analyze_recovery(series, col, window->first, window->second);
+      j["baseline_gbps"] = rec.baseline.gbps();
+      j["dip_gbps"] = rec.dip.gbps();
+      j["recovery_sec"] = rec.recovered ? rec.recovery.seconds() : -1.0;
+      j["retained"] = rec.retained();
+    }
+  }
   return j;
 }
 
@@ -330,7 +352,7 @@ bool needs_value(const std::string& flag) {
          flag == "--repeats" || flag == "--seed" || flag == "--jobs" ||
          flag == "--cache" || flag == "--out" || flag == "--checkpoint" ||
          flag == "--max-cells" || flag == "--report" || flag == "--scenarios" ||
-         flag == "--max-age-days";
+         flag == "--max-age-days" || flag == "--plot-out";
 }
 
 }  // namespace
@@ -480,6 +502,13 @@ SweepCli parse_sweep_cli(const std::vector<std::string>& args) {
       o.run.resume = true;
     } else if (flag == "--report") {
       o.report_path = value;
+    } else if (flag == "--plot-out") {
+      o.plot_out = value;
+    } else if (flag == "--telemetry") {
+      o.grid.telemetry.enabled = true;
+    } else if (flag == "--perf") {
+      o.grid.telemetry.enabled = true;
+      o.grid.telemetry.perf_enabled = true;
     } else if (flag == "--max-cells") {
       const long n = std::atol(value.c_str());
       if (n < 0) {
@@ -546,8 +575,17 @@ std::string sweep_cli_help() {
       "      --checkpoint FILE  manifest path (default: <out>.ckpt)\n"
       "      --resume           skip cells the manifest marks complete\n"
       "      --max-cells K      stop after K cells (interrupt-style testing)\n"
+      "      --telemetry        attach interval probes to every cell; with\n"
+      "                         --scenarios the rows gain dip/recovery columns\n"
+      "                         (telemetry cells bypass the result cache)\n"
+      "      --perf             cycle attribution in every cell; rows gain\n"
+      "                         cycles/byte columns (implies --telemetry)\n"
       "      --report FILE      render the summary table from a finished\n"
-      "                         campaign's JSONL stream (no simulation)\n"
+      "                         campaign's JSONL stream (no simulation);\n"
+      "                         cycles/byte and dip/recovery columns appear\n"
+      "                         when the rows carry them\n"
+      "      --plot-out BASE    with --report: also write BASE.gp + BASE.dat\n"
+      "                         (figure-ready gnuplot) from the same rows\n"
       "cache maintenance:\n"
       "      --gc               garbage-collect the --cache directory and exit\n"
       "      --max-age-days D   with --gc: evict entries older than D days\n"
@@ -558,50 +596,88 @@ std::string sweep_cli_help() {
 
 namespace {
 
-// `dtnsim-sweep --report results.jsonl`: re-render a finished campaign's
-// streamed rows as the paper-style summary table, offline. Rows whose cells
-// were served from a prior output (repeats == 0) are counted but not shown.
-int render_campaign_report(const std::string& path, std::string& output) {
+// Parse a campaign JSONL stream into rows; torn trailing lines (killed
+// mid-write) are skipped. Empty result + false on an unreadable file.
+bool read_campaign_rows(const std::string& path, std::vector<Json>* rows) {
   std::ifstream in(path);
-  if (!in) {
-    output = strfmt("error: cannot read %s\n", path.c_str());
-    return 2;
-  }
-  std::string name;
-  std::size_t rows = 0, cached = 0, skipped = 0;
-  std::string table;
-  table += strfmt("  %4s %-44s %16s %7s %7s %8s %4s %4s\n", "idx", "cell",
-                  "Gbps (avg±sd)", "min", "max", "retrans", "TX%", "RX%");
+  if (!in) return false;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    const auto doc = Json::parse(line);
+    auto doc = Json::parse(line);
     if (!doc) continue;  // torn final line from an interrupt
-    if (name.empty()) name = doc->string_at("name", "");
-    const double repeats = doc->number_at("repeats", 0);
-    ++rows;
-    if (doc->bool_at("cached", false)) ++cached;
-    if (repeats <= 0) {  // resumed cell whose result lives in a prior stream
-      ++skipped;
+    rows->push_back(std::move(*doc));
+  }
+  return true;
+}
+
+// `dtnsim-sweep --report results.jsonl`: re-render a finished campaign's
+// streamed rows as the paper-style summary table, offline. Rows whose cells
+// were served from a prior output (repeats == 0) are counted but not shown.
+// Two passes over the rows: the first discovers which optional columns any
+// row carries (cycles/byte from --perf, dip/recovery from --telemetry +
+// --scenarios), the second renders the table with exactly those columns.
+int render_campaign_report(const std::string& path, const std::vector<Json>& rows,
+                           std::string& output) {
+  bool has_perf = false, has_dip = false;
+  for (const Json& doc : rows) {
+    if (doc.find("tx_cyc_per_byte")) has_perf = true;
+    if (doc.find("dip_gbps")) has_dip = true;
+  }
+
+  std::string name;
+  std::size_t shown = 0, cached = 0, skipped = 0;
+  std::string table;
+  table += strfmt("  %4s %-44s %16s %7s %7s %8s %4s %4s", "idx", "cell",
+                  "Gbps (avg±sd)", "min", "max", "retrans", "TX%", "RX%");
+  if (has_perf) table += strfmt(" %8s %8s", "tx cyc/B", "rx cyc/B");
+  if (has_dip) table += strfmt(" %8s %7s %6s", "dip Gbps", "rec s", "kept%");
+  table += '\n';
+  for (const Json& doc : rows) {
+    if (name.empty()) name = doc.string_at("name", "");
+    if (doc.bool_at("cached", false)) ++cached;
+    if (doc.number_at("repeats", 0) <= 0) {
+      ++skipped;  // resumed cell whose result lives in a prior stream
       continue;
     }
+    ++shown;
     // The row's name is the full spec label; coords alone are shorter but
     // the label is what the live campaign output prints.
-    table += strfmt("  %4.0f %-44s %8.2f ± %5.2f %7.2f %7.2f %8.0f %4.0f %4.0f\n",
-                    doc->number_at("index", -1),
-                    doc->string_at("name", "?").c_str(),
-                    doc->number_at("avg_gbps", 0), doc->number_at("stdev_gbps", 0),
-                    doc->number_at("min_gbps", 0), doc->number_at("max_gbps", 0),
-                    doc->number_at("avg_retransmits", 0),
-                    doc->number_at("snd_cpu_pct", 0),
-                    doc->number_at("rcv_cpu_pct", 0));
+    table += strfmt("  %4.0f %-44s %8.2f ± %5.2f %7.2f %7.2f %8.0f %4.0f %4.0f",
+                    doc.number_at("index", -1),
+                    doc.string_at("name", "?").c_str(),
+                    doc.number_at("avg_gbps", 0), doc.number_at("stdev_gbps", 0),
+                    doc.number_at("min_gbps", 0), doc.number_at("max_gbps", 0),
+                    doc.number_at("avg_retransmits", 0),
+                    doc.number_at("snd_cpu_pct", 0),
+                    doc.number_at("rcv_cpu_pct", 0));
+    if (has_perf) {
+      if (doc.find("tx_cyc_per_byte")) {
+        table += strfmt(" %8.2f %8.2f", doc.number_at("tx_cyc_per_byte", 0),
+                        doc.number_at("rx_cyc_per_byte", 0));
+      } else {
+        table += strfmt(" %8s %8s", "-", "-");
+      }
+    }
+    if (has_dip) {
+      if (doc.find("dip_gbps")) {
+        const double rec_sec = doc.number_at("recovery_sec", -1);
+        table += strfmt(" %8.2f", doc.number_at("dip_gbps", 0));
+        table += rec_sec < 0 ? strfmt(" %7s", "never")
+                             : strfmt(" %7.1f", rec_sec);
+        table += strfmt(" %6.0f", 100.0 * doc.number_at("retained", 0));
+      } else {
+        table += strfmt(" %8s %7s %6s", "-", "-", "-");
+      }
+    }
+    table += '\n';
   }
-  if (rows == 0) {
+  if (shown + skipped == 0) {
     output = strfmt("error: %s holds no result rows\n", path.c_str());
     return 2;
   }
   output = strfmt("campaign report: %s (%zu rows, %zu cached", path.c_str(),
-                  rows, cached);
+                  shown + skipped, cached);
   if (skipped > 0) output += strfmt(", %zu in prior streams", skipped);
   output += ")\n" + table;
   return 0;
@@ -619,7 +695,30 @@ int run_sweep_cli(const SweepCli& cli, std::string& output) {
     return 0;
   }
   if (!cli.report_path.empty()) {
-    return render_campaign_report(cli.report_path, output);
+    std::vector<Json> rows;
+    if (!read_campaign_rows(cli.report_path, &rows)) {
+      output = strfmt("error: cannot read %s\n", cli.report_path.c_str());
+      return 2;
+    }
+    const int code = render_campaign_report(cli.report_path, rows, output);
+    if (code != 0) return code;
+    if (!cli.plot_out.empty()) {
+      // Rows carry spec labels, not the campaign name; the stream path is
+      // the most recognizable figure title available offline.
+      if (!report::write_campaign_plot(cli.plot_out, cli.report_path, rows)) {
+        output += strfmt("error: cannot write plot to %s.{gp,dat}\n",
+                         cli.plot_out.c_str());
+        return 1;
+      }
+      output += strfmt("plot: %s.gp + %s.dat (render with: gnuplot %s.gp)\n",
+                       cli.plot_out.c_str(), cli.plot_out.c_str(),
+                       cli.plot_out.c_str());
+    }
+    return 0;
+  }
+  if (!cli.plot_out.empty()) {
+    output = "error: --plot-out needs --report FILE (rows to plot)\n";
+    return 2;
   }
   if (cli.gc) {
     if (cli.run.cache_dir.empty()) {

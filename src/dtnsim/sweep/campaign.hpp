@@ -90,6 +90,9 @@ struct SweepCli {
   // Non-empty: render the paper-style summary table from a finished
   // campaign's JSONL results stream (--out file) and exit — no simulation.
   std::string report_path;
+  // With --report: also emit figure-ready gnuplot (<base>.gp + <base>.dat)
+  // from the same rows (report::write_campaign_plot).
+  std::string plot_out;
   // --gc: garbage-collect the --cache directory and exit — no simulation.
   // Criteria come from --max-age-days / --salt-mismatch, --dry-run previews.
   bool gc = false;

@@ -1,0 +1,20 @@
+// Violation: enum-switch (stale case) — this switch over fake::Color
+// (colors.hpp) names Color::kYellow, an enumerator the definition no longer
+// carries. The `default:` covers the missing-enumerator rule, so the stale
+// label is the only finding this file should trip.
+#include "dtnsim/fake/colors.hpp"
+
+namespace dtnsim::fake {
+
+int warmth(Color c) {
+  switch (c) {
+    case Color::kRed:
+      return 2;
+    case Color::kYellow:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace dtnsim::fake

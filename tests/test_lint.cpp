@@ -357,6 +357,47 @@ TEST(ProjectRules, EnumSwitchFlagsMissingEnumerator) {
   EXPECT_EQ(fs[0].line, 2);
 }
 
+TEST(ProjectRules, EnumSwitchFlagsStaleCaseEvenWithDefault) {
+  // A `case` naming an enumerator the definition no longer carries is dead
+  // code a `default:` cannot excuse (it can never fire).
+  const std::vector<FileContent> files = {
+      {"src/dtnsim/fake/colors.hpp",
+       "enum class Color { kRed, kGreen, kBlue };\n"},
+      {"src/dtnsim/fake/use.cpp",
+       "int f(Color c) {\n"
+       "  switch (c) {\n"
+       "    case Color::kRed: return 1;\n"
+       "    case Color::kYellow: return 2;\n"
+       "    default: return 0;\n"
+       "  }\n"
+       "}\n"}};
+  const auto fs = project_findings(files);
+  ASSERT_EQ(count_rule(fs, "enum-switch"), 1);
+  EXPECT_NE(fs[0].message.find("no longer exist"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("kYellow"), std::string::npos);
+  EXPECT_EQ(fs[0].path, "src/dtnsim/fake/use.cpp");
+}
+
+TEST(ProjectRules, EnumSwitchStaleAndMissingReportSeparately) {
+  // Without a default, a renamed enumerator yields both findings — and the
+  // missing-rule's handled count excludes the stale label.
+  const auto fs = project_findings(
+      {{"src/dtnsim/fake/colors.hpp",
+        "enum class Color { kRed, kGreen, kBlue };\n"},
+       {"src/dtnsim/fake/use.cpp",
+        "int f(Color c) {\n"
+        "  switch (c) {\n"
+        "    case Color::kRed: return 1;\n"
+        "    case Color::kYellow: return 2;\n"
+        "  }\n"
+        "  return 0;\n"
+        "}\n"}});
+  ASSERT_EQ(count_rule(fs, "enum-switch"), 2);
+  EXPECT_NE(fs[0].message.find("kYellow"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("handles 1/3"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("kGreen, kBlue"), std::string::npos);
+}
+
 TEST(ProjectRules, EnumSwitchDefaultOrGuardOrAllowExempts) {
   const std::string enum_hpp = "enum class Color { kRed, kBlue };\n";
   const std::string with_default =

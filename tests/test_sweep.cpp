@@ -16,6 +16,7 @@
 #include "dtnsim/sweep/cache.hpp"
 #include "dtnsim/sweep/campaign.hpp"
 #include "dtnsim/sweep/grid.hpp"
+#include "dtnsim/util/strfmt.hpp"
 #include "dtnsim/sweep/pool.hpp"
 
 namespace dtnsim::sweep {
@@ -626,6 +627,95 @@ TEST(SweepCli, GcEndToEndThroughTheCli) {
   EXPECT_NE(output.find("evicted"), std::string::npos) << output;
   EXPECT_FALSE(fs::exists(f.stale));
   EXPECT_TRUE(fs::exists(f.live));
+}
+
+// ---- campaign report + plot (dtnsim::report integration) --------------------
+
+// One synthetic JSONL row. Extras (perf cycles/byte, scenario dip/recovery)
+// ride along only when asked — exactly the presence contract row_json uses.
+std::string report_row(int index, const std::string& name, bool perf,
+                       bool dip, double recovery_sec = 3.5) {
+  std::string row = strfmt(
+      "{\"index\": %d, \"name\": \"%s\", \"repeats\": 2, \"avg_gbps\": 9.5, "
+      "\"stdev_gbps\": 0.25, \"min_gbps\": 9.25, \"max_gbps\": 9.75, "
+      "\"avg_retransmits\": 4, \"snd_cpu_pct\": 55, \"rcv_cpu_pct\": 80",
+      index, name.c_str());
+  if (perf) row += ", \"tx_cyc_per_byte\": 1.23, \"rx_cyc_per_byte\": 2.46";
+  if (dip) {
+    row += strfmt(", \"baseline_gbps\": 9.5, \"dip_gbps\": 2.5, "
+                  "\"recovery_sec\": %.1f, \"retained\": 0.26",
+                  recovery_sec);
+  }
+  return row + "}\n";
+}
+
+TEST(SweepReport, ColumnsArePresenceDriven) {
+  const std::string dir = scratch_dir("report_cols");
+  const std::string plain = dir + "/plain.jsonl";
+  std::ofstream(plain) << report_row(0, "a", false, false)
+                       << report_row(1, "b", false, false);
+  std::string output;
+  EXPECT_EQ(run_sweep_cli(parse_sweep_cli({"--report", plain}), output), 0);
+  // No row carries the extras -> the table must not grow the columns.
+  EXPECT_EQ(output.find("tx cyc/B"), std::string::npos) << output;
+  EXPECT_EQ(output.find("dip Gbps"), std::string::npos) << output;
+
+  const std::string rich = dir + "/rich.jsonl";
+  std::ofstream(rich) << report_row(0, "a", false, false)
+                      << report_row(1, "b", true, true)
+                      << report_row(2, "c", true, true, -1.0);
+  EXPECT_EQ(run_sweep_cli(parse_sweep_cli({"--report", rich}), output), 0);
+  EXPECT_NE(output.find("tx cyc/B"), std::string::npos) << output;
+  EXPECT_NE(output.find("dip Gbps"), std::string::npos) << output;
+  EXPECT_NE(output.find("1.23"), std::string::npos) << output;
+  EXPECT_NE(output.find("2.50"), std::string::npos) << output;
+  EXPECT_NE(output.find("never"), std::string::npos) << output;  // rec < 0
+  // The extras-less row renders "-" fills, not zeros.
+  EXPECT_NE(output.find("-"), std::string::npos) << output;
+}
+
+TEST(SweepReport, PlotOutWritesGnuplotNextToTheReport) {
+  const std::string dir = scratch_dir("report_plot");
+  const std::string rows = dir + "/rows.jsonl";
+  std::ofstream(rows) << report_row(0, "a", true, true);
+  const std::string base = dir + "/fig";
+  std::string output;
+  EXPECT_EQ(run_sweep_cli(
+                parse_sweep_cli({"--report", rows, "--plot-out", base}), output),
+            0);
+  EXPECT_NE(output.find("gnuplot " + base + ".gp"), std::string::npos) << output;
+  EXPECT_TRUE(fs::exists(base + ".gp"));
+  EXPECT_TRUE(fs::exists(base + ".dat"));
+
+  // --plot-out without --report has no rows to plot: usage error.
+  EXPECT_EQ(run_sweep_cli(parse_sweep_cli({"--plot-out", base}), output), 2);
+  EXPECT_NE(output.find("--report"), std::string::npos);
+}
+
+TEST(SweepCli, TelemetryAndPerfFlagsReachTheGrid) {
+  const auto tel = parse_sweep_cli({"--telemetry"});
+  ASSERT_TRUE(tel.error.empty()) << tel.error;
+  EXPECT_TRUE(tel.grid.telemetry.enabled);
+  EXPECT_FALSE(tel.grid.telemetry.perf_enabled);
+  const auto perf = parse_sweep_cli({"--perf"});
+  ASSERT_TRUE(perf.error.empty()) << perf.error;
+  EXPECT_TRUE(perf.grid.telemetry.enabled);
+  EXPECT_TRUE(perf.grid.telemetry.perf_enabled);
+}
+
+TEST(SweepReport, LiveCampaignRowsCarryPerfColumns) {
+  const std::string dir = scratch_dir("report_live");
+  const std::string rows = dir + "/rows.jsonl";
+  std::string output;
+  const auto run = parse_sweep_cli({"--quick", "--kernels", "6.8", "--paths",
+                                    "LAN", "--streams", "1", "--perf", "--out",
+                                    rows});
+  ASSERT_TRUE(run.error.empty()) << run.error;
+  ASSERT_EQ(run_sweep_cli(run, output), 0) << output;
+  // The streamed row carries the cycles/byte extras and the report renders
+  // them — the acceptance path, minus the 12-cell scale.
+  EXPECT_EQ(run_sweep_cli(parse_sweep_cli({"--report", rows}), output), 0);
+  EXPECT_NE(output.find("tx cyc/B"), std::string::npos) << output;
 }
 
 }  // namespace

@@ -1,0 +1,160 @@
+// dtnsim-report: inspect, compare and plot RunRecord artifacts.
+//
+// A RunRecord (written by `dtnsim-iperf3 --record-out run.json`, or any
+// harness caller that sets spec.record) bundles one run's summary, probe
+// series, ss/perf logs, scenario events and derived analysis into a single
+// JSON document. This tool works on those files offline — no simulation.
+//
+//   $ dtnsim-report --summarize run.json
+//   $ dtnsim-report --diff before.json after.json
+//   $ dtnsim-report --plot run.json --plot-base fig/run
+//   $ dtnsim-report --json run.json | jq .analysis
+//
+// Flags:
+//   --summarize FILE  human-readable summary; re-derives the analysis from
+//                     the record's own series/logs and flags any drift
+//   --diff A B        side-by-side comparison with absolute/percent deltas
+//   --plot FILE       figure-ready gnuplot: <base>.gp + <base>.dat
+//   --plot-base BASE  with --plot: output base (default: FILE minus .json)
+//   -J, --json FILE   re-emit the parsed record as canonical JSON
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dtnsim/report/record.hpp"
+
+namespace {
+
+using dtnsim::report::RunRecord;
+
+const char* kHelp =
+    "dtnsim-report — unified run records: summarize, diff, plot\n"
+    "\n"
+    "  --summarize FILE  human-readable summary + analysis verification\n"
+    "  --diff A B        compare two records (absolute and percent deltas)\n"
+    "  --plot FILE       write figure-ready gnuplot (<base>.gp + <base>.dat)\n"
+    "  --plot-base BASE  with --plot: output base (default: FILE minus .json)\n"
+    "  -J, --json FILE   re-emit the parsed record as canonical JSON\n"
+    "\n"
+    "Records come from `dtnsim-iperf3 --record-out FILE` (docs/REPORT.md).\n";
+
+// Load or die with a message; RunRecord loading throws with the path baked in.
+bool load(const std::string& path, RunRecord* out) {
+  try {
+    *out = dtnsim::report::load_run_record(path);
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return false;
+  }
+}
+
+int summarize(const std::string& path) {
+  RunRecord rec;
+  if (!load(path, &rec)) return 2;
+  std::fputs(dtnsim::report::format_run_record(rec).c_str(), stdout);
+  // The stored analysis block is derived data; recompute it from the
+  // record's own series/logs so a hand-edited or stale file is caught.
+  const auto fresh = dtnsim::report::analyze_record(rec);
+  const bool clean = dtnsim::report::to_json(fresh).dump() ==
+                     dtnsim::report::to_json(rec.analysis).dump();
+  std::fprintf(stdout, "  analysis   : %s\n",
+               clean ? "verified (matches the recorded series/logs)"
+                     : "STALE — does not match the recorded series/logs");
+  return clean ? 0 : 1;
+}
+
+int diff(const std::string& a_path, const std::string& b_path) {
+  RunRecord a, b;
+  if (!load(a_path, &a) || !load(b_path, &b)) return 2;
+  std::fputs(dtnsim::report::format_record_diff(a, b).c_str(), stdout);
+  return 0;
+}
+
+int plot(const std::string& path, std::string base) {
+  RunRecord rec;
+  if (!load(path, &rec)) return 2;
+  if (base.empty()) {
+    base = path;
+    const std::string suffix = ".json";
+    if (base.size() > suffix.size() &&
+        base.compare(base.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      base.resize(base.size() - suffix.size());
+    }
+  }
+  if (!dtnsim::report::write_record_plot(base, rec)) {
+    std::fprintf(stderr, "error: cannot write %s.{gp,dat}\n", base.c_str());
+    return 1;
+  }
+  std::fprintf(stdout, "plot: %s.gp + %s.dat (render with: gnuplot %s.gp)\n",
+               base.c_str(), base.c_str(), base.c_str());
+  return 0;
+}
+
+int emit_json(const std::string& path) {
+  RunRecord rec;
+  if (!load(path, &rec)) return 2;
+  std::fputs((dtnsim::report::to_json(rec).dump(2) + "\n").c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class Mode { Summarize, Diff, Plot, Json } mode = Mode::Summarize;
+  std::vector<std::string> files;
+  std::string plot_base;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "-h" || a == "--help") {
+      std::fputs(kHelp, stdout);
+      return 0;
+    } else if (a == "--summarize") {
+      mode = Mode::Summarize;
+      files.push_back(value("--summarize"));
+    } else if (a == "--diff") {
+      mode = Mode::Diff;
+      files.push_back(value("--diff"));
+      files.push_back(value("--diff"));
+    } else if (a == "--plot") {
+      mode = Mode::Plot;
+      files.push_back(value("--plot"));
+    } else if (a == "--plot-base") {
+      plot_base = value("--plot-base");
+    } else if (a == "-J" || a == "--json") {
+      mode = Mode::Json;
+      files.push_back(value("--json"));
+    } else if (!a.empty() && a[0] != '-') {
+      files.push_back(a);  // bare FILE -> summarize
+    } else {
+      std::fprintf(stderr, "error: unknown flag: %s\n\n%s", a.c_str(), kHelp);
+      return 2;
+    }
+  }
+  if (files.empty()) {
+    std::fputs(kHelp, stdout);
+    return 2;
+  }
+  switch (mode) {
+    case Mode::Summarize:
+      return summarize(files.front());
+    case Mode::Diff:
+      if (files.size() != 2) {
+        std::fprintf(stderr, "error: --diff needs exactly two records\n");
+        return 2;
+      }
+      return diff(files[0], files[1]);
+    case Mode::Plot:
+      return plot(files.front(), plot_base);
+    case Mode::Json:
+      return emit_json(files.front());
+  }
+  return 0;
+}
